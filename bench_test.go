@@ -1,0 +1,326 @@
+package realhf
+
+// One benchmark per paper table/figure. Each bench regenerates its artifact
+// at a reduced-but-meaningful scale and reports the headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` reproduces the shape of the
+// paper's evaluation end to end. cmd/realbench runs the same experiments at
+// full paper scale.
+
+import (
+	"testing"
+
+	"realhf/internal/baselines"
+	"realhf/internal/experiments"
+	"realhf/internal/model"
+	"realhf/internal/runtime"
+	"realhf/internal/search"
+)
+
+const benchSteps = 1500
+
+// BenchmarkTable1ModelConfigs regenerates Table 1 (exact parameter counts).
+func BenchmarkTable1ModelConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.Table1()
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTablePlans regenerates the Tables 2–5 plan listings and the
+// Table 6 breakdown (quick scale).
+func BenchmarkTablePlans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, cases, err := experiments.Tables2to6(benchSteps, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty report")
+		}
+		b.ReportMetric(cases[0].HeuristicE2E[0]/cases[0].SearchedE2E[0], "speedup-vs-heuristic")
+	}
+}
+
+// BenchmarkTable6Breakdown measures the searched-vs-heuristic end-to-end gap
+// for the paper's small representative case including the ±CUDAGraph rows.
+func BenchmarkTable6Breakdown(b *testing.B) {
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.RunBreakdownCase("7b+7b", s, benchSteps, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(c.SearchedE2E[0], "real-e2e-s")
+		b.ReportMetric(c.HeuristicE2E[0], "heur-e2e-s")
+		b.ReportMetric(c.SearchedGen[1]/c.SearchedGen[0], "cudagraph-gen-gain")
+	}
+}
+
+// BenchmarkFig2Opportunity regenerates the sequential optimization-gain
+// figure.
+func BenchmarkFig2Opportunity(b *testing.B) {
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(s, benchSteps, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7EndToEnd compares ReaL against all baseline systems at the
+// 16-GPU weak-scaling point.
+func BenchmarkFig7EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig7(model.LLaMA7B, []int{16}, benchSteps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var real, best float64
+		for _, r := range rows {
+			if r.System == "real" {
+				real = r.PFLOPs
+			} else if !r.OOM && r.PFLOPs > best {
+				best = r.PFLOPs
+			}
+		}
+		b.ReportMetric(real, "real-pflops")
+		b.ReportMetric(real/best, "speedup-vs-best-baseline")
+	}
+}
+
+// BenchmarkFig8Heuristic compares searched plans against the heuristic at
+// context lengths 2048 and 8192.
+func BenchmarkFig8Heuristic(b *testing.B) {
+	combos := [][2]model.Config{{model.LLaMA7B, model.LLaMA7B}}
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig8(combos, 2, []int{2048, 8192}, benchSteps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rows[0].Improvement, "gain-ctx2048-%")
+		b.ReportMetric(100*rows[1].Improvement, "gain-ctx8192-%")
+	}
+}
+
+// BenchmarkFig9Progressive regenerates the progressive-optimization walk.
+func BenchmarkFig9Progressive(b *testing.B) {
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+	for i := 0; i < b.N; i++ {
+		stages, _, err := experiments.Fig9(s, benchSteps, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stages[0].WallTime/stages[len(stages)-1].WallTime, "total-speedup")
+	}
+}
+
+// BenchmarkFig10KernelTrace regenerates the simplified kernel traces.
+func BenchmarkFig10KernelTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig10(16); len(out) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkFig11GPUTime regenerates the GPU-time decomposition.
+func BenchmarkFig11GPUTime(b *testing.B) {
+	combos := [][2]model.Config{{model.LLaMA7B, model.LLaMA7B}}
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig11(combos, 2, benchSteps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rows[0].Real.Compute, "real-compute-%")
+		b.ReportMetric(100*rows[0].Heur.Compute, "heur-compute-%")
+	}
+}
+
+// BenchmarkFig12Estimator regenerates the estimator-accuracy study.
+func BenchmarkFig12Estimator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, _, err := experiments.Fig12([]int{2}, benchSteps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, p := range points {
+			if p.RelError > worst {
+				worst = p.RelError
+			}
+		}
+		b.ReportMetric(100*worst, "max-est-error-%")
+	}
+}
+
+// BenchmarkFig13Search regenerates the search-convergence curves.
+func BenchmarkFig13Search(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, _, err := experiments.Fig13(benchSteps, []int{2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(curves[0].FinalRatio(), "improvement-ratio-7b")
+	}
+}
+
+// BenchmarkFig14Pruning regenerates the 1024-GPU pruning ablation (reduced
+// step budget; the full run lives in cmd/realbench).
+func BenchmarkFig14Pruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, _, err := experiments.Fig14(400, []int{100, 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(curves[0].FinalRatio(), "ratio-small-space")
+		b.ReportMetric(curves[len(curves)-1].FinalRatio(), "ratio-large-space")
+	}
+}
+
+// BenchmarkFig15Optimality regenerates the MCMC-vs-brute-force study.
+func BenchmarkFig15Optimality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.Fig15(benchSteps, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap := (results[0].MCMCBest - results[0].OptimalCost) / results[0].OptimalCost
+		b.ReportMetric(100*gap, "gap-to-optimal-%")
+	}
+}
+
+// BenchmarkFig16Algorithms regenerates the DPO/GRPO/ReMax comparison.
+func BenchmarkFig16Algorithms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig16(2, benchSteps, model.LLaMA13B, model.LLaMA7B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.Improvement, r.Algo+"-gain-%")
+		}
+	}
+}
+
+// BenchmarkFig17StrongScaling regenerates the strong-scaling study.
+func BenchmarkFig17StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig17([]model.Config{model.LLaMA7B}, []int{1, 2, 4}, 700)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].PFLOPs/rows[0].PFLOPs, "scaling-8-to-32gpu")
+	}
+}
+
+// BenchmarkAblationNoRealloc quantifies parameter reallocation's
+// contribution versus the best one-layout-per-model plan.
+func BenchmarkAblationNoRealloc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.AblationNoRealloc(2, benchSteps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rows[0].Advantage, "realloc-advantage-%")
+	}
+}
+
+// BenchmarkAblationCrossIter measures cross-iteration overlap on the
+// concatenated dataflow graph.
+func BenchmarkAblationCrossIter(b *testing.B) {
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA13B)
+	for i := 0; i < b.N; i++ {
+		single, double, _, err := experiments.AblationCrossIter(s, benchSteps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(2*single-double, "overlap-saved-s")
+	}
+}
+
+// BenchmarkLimitationStudy measures estimator degradation under dynamic
+// generation lengths (the paper's §7 predictability limitation).
+func BenchmarkLimitationStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.LimitationStudy(2, 800, []float64{0, 0.5}, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rows[1].EstimateErr, "est-err-at-50pct-spread-%")
+	}
+}
+
+// BenchmarkSearchThroughput measures raw planner speed: MCMC steps per
+// second on the 7B+7B/16-GPU problem (the quantity behind the paper's
+// seconds-scale search times).
+func BenchmarkSearchThroughput(b *testing.B) {
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+	pr, err := experiments.NewProblem(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.SearchPlan(500, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatorEvaluate measures one cost-estimation call — the paper
+// quotes hundreds of microseconds per candidate plan.
+func BenchmarkEstimatorEvaluate(b *testing.B) {
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+	pr, err := experiments.NewProblem(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := baselines.BuildHeuristic(pr.Cluster, pr.Graph, pr.Models)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.Est.Evaluate(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeExecution measures the runtime engine's dispatch loop
+// (master + 16 workers, one PPO iteration).
+func BenchmarkRuntimeExecution(b *testing.B) {
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+	pr, err := experiments.NewProblem(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := baselines.BuildHeuristic(pr.Cluster, pr.Graph, pr.Models)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runtime.RunDefault(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedySeed measures greedy seed-plan construction over the full
+// candidate space.
+func BenchmarkGreedySeed(b *testing.B) {
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+	pr, err := experiments.NewProblem(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Greedy(pr.Est, pr.EmptyPlan(), search.PruneNone); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

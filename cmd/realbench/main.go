@@ -1,0 +1,202 @@
+// Command realbench regenerates the paper's tables and figures on the
+// simulated cluster. Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records the comparison against the published
+// numbers.
+//
+// Usage:
+//
+//	realbench -exp all          # everything at paper scale (minutes)
+//	realbench -exp fig7 -quick  # one experiment, reduced scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"realhf/internal/experiments"
+	"realhf/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.String("exp", "all",
+		"experiment: table1, plans (tables 2-6), fig2, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, ablation, limitation, all")
+	quick := flag.Bool("quick", false, "reduced scale for fast runs")
+	steps := flag.Int("steps", 0, "override MCMC search steps")
+	flag.Parse()
+
+	searchSteps := 6000
+	nodes := 16
+	if *quick {
+		searchSteps = 1500
+		nodes = 2
+	}
+	if *steps > 0 {
+		searchSteps = *steps
+	}
+
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+	}
+
+	run("table1", func() (string, error) { return experiments.Table1(), nil })
+
+	run("plans", func() (string, error) {
+		out, _, err := experiments.Tables2to6(searchSteps, *quick)
+		return out, err
+	})
+
+	run("fig2", func() (string, error) {
+		s := experiments.PaperSetting(nodes, bigActor(*quick), model.LLaMA7B)
+		return experiments.Fig2(s, searchSteps, 2)
+	})
+
+	run("fig7", func() (string, error) {
+		var b strings.Builder
+		counts7 := []int{16, 32, 64, 128}
+		counts13 := []int{32, 64, 128}
+		if *quick {
+			counts7, counts13 = []int{16, 32}, []int{32}
+		}
+		_, out, err := experiments.Fig7(model.LLaMA7B, counts7, searchSteps)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+		_, out, err = experiments.Fig7(model.LLaMA13B, counts13, searchSteps)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+		return b.String(), nil
+	})
+
+	run("fig8", func() (string, error) {
+		combos := experiments.Fig8Combos()
+		if *quick {
+			combos = combos[:2]
+		}
+		_, out, err := experiments.Fig8(combos, nodes, []int{2048, 8192}, searchSteps)
+		return out, err
+	})
+
+	run("fig9", func() (string, error) {
+		var b strings.Builder
+		small := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+		_, out, err := experiments.Fig9(small, searchSteps, 1)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+		big := experiments.PaperSetting(nodes, bigActor(*quick), model.LLaMA7B)
+		_, out, err = experiments.Fig9(big, searchSteps, 2)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+		return b.String(), nil
+	})
+
+	run("fig10", func() (string, error) { return experiments.Fig10(16), nil })
+
+	run("fig11", func() (string, error) {
+		combos := experiments.Fig8Combos()
+		if *quick {
+			combos = combos[:2]
+		}
+		_, out, err := experiments.Fig11(combos, nodes, searchSteps)
+		return out, err
+	})
+
+	run("fig12", func() (string, error) {
+		scales := []int{2, 4, 8, 16}
+		if *quick {
+			scales = []int{2, 4}
+		}
+		_, out, err := experiments.Fig12(scales, searchSteps)
+		return out, err
+	})
+
+	run("fig13", func() (string, error) {
+		_, out, err := experiments.Fig13(searchSteps, []int{2048, 8192})
+		return out, err
+	})
+
+	run("fig14", func() (string, error) {
+		caps := []int{215, 464, 1000}
+		steps := searchSteps
+		if *quick {
+			caps = []int{100, 300}
+			steps = 600
+		}
+		_, out, err := experiments.Fig14(steps, caps)
+		return out, err
+	})
+
+	run("fig15", func() (string, error) {
+		topK := 6
+		if *quick {
+			topK = 4
+		}
+		_, out, err := experiments.Fig15(searchSteps, topK)
+		return out, err
+	})
+
+	run("fig16", func() (string, error) {
+		_, out, err := experiments.Fig16(nodes, searchSteps, bigActor(*quick), model.LLaMA7B)
+		return out, err
+	})
+
+	run("fig17", func() (string, error) {
+		actors := []model.Config{model.LLaMA7B, model.LLaMA13B, model.LLaMA34B}
+		counts := []int{1, 2, 4, 8, 12, 16}
+		if *quick {
+			actors = actors[:1]
+			counts = []int{1, 2, 4}
+		}
+		_, out, err := experiments.Fig17(actors, counts, searchSteps)
+		return out, err
+	})
+
+	run("ablation", func() (string, error) {
+		var b strings.Builder
+		ablNodes := 4
+		if *quick {
+			ablNodes = 2
+		}
+		_, out, err := experiments.AblationNoRealloc(ablNodes, searchSteps)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+		b.WriteString("\n")
+		s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA13B)
+		_, _, out, err = experiments.AblationCrossIter(s, searchSteps)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+		return b.String(), nil
+	})
+
+	run("limitation", func() (string, error) {
+		_, out, err := experiments.LimitationStudy(2, searchSteps, []float64{0, 0.25, 0.5, 0.75}, 9)
+		return out, err
+	})
+}
+
+func bigActor(quick bool) model.Config {
+	if quick {
+		return model.LLaMA13B
+	}
+	return model.LLaMA70B
+}

@@ -1,0 +1,66 @@
+// Command realprofile runs the (synthetic) per-layer profiler for one model
+// family and reports the measured statistics and the profiling cost
+// (paper Fig. 12 left).
+//
+// Usage:
+//
+//	realprofile -model 70b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"realhf/internal/hardware"
+	"realhf/internal/model"
+	"realhf/internal/profiler"
+)
+
+func main() {
+	log.SetFlags(0)
+	name := flag.String("model", "7b", "model size (7b, 13b, 34b, 70b)")
+	nodes := flag.Int("nodes", 2, "cluster nodes (sets profiled TP degrees)")
+	seed := flag.Int64("seed", 1, "measurement-noise seed")
+	flag.Parse()
+
+	cfg, err := model.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw := hardware.DefaultCluster(*nodes)
+	tab, err := profiler.Profile(hw, cfg, profiler.Options{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Profiled %s on %s\n", cfg, hw)
+	fmt.Printf("Profiling wall time: %.1fs\n\n", tab.ProfileCost)
+
+	fmt.Println("Sample interpolated per-layer forward times (ms):")
+	fmt.Printf("%8s", "tokens")
+	for _, tp := range []int{1, 2, 4, 8} {
+		fmt.Printf(" %10s", fmt.Sprintf("tp=%d", tp))
+	}
+	fmt.Println()
+	for _, tokens := range []int64{512, 4096, 32768, 262144} {
+		fmt.Printf("%8d", tokens)
+		for _, tp := range []int{1, 2, 4, 8} {
+			fmt.Printf(" %10.3f", tab.LayerFwd(tp, tokens, 1024)*1e3)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nSample decode step times (us, batch x position):")
+	fmt.Printf("%14s", "")
+	for _, tp := range []int{1, 2, 4, 8} {
+		fmt.Printf(" %10s", fmt.Sprintf("tp=%d", tp))
+	}
+	fmt.Println()
+	for _, bs := range []int{1, 8, 64} {
+		fmt.Printf("%6dx%7d", bs, 2048)
+		for _, tp := range []int{1, 2, 4, 8} {
+			fmt.Printf(" %10.0f", tab.LayerDecode(tp, bs, 2048)*1e6)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,135 @@
+// Command realrun executes an RLHF execution plan on the simulated cluster
+// through the runtime engine (master worker + per-GPU model workers) and
+// prints a Table 6-style wall-time breakdown.
+//
+// Usage:
+//
+//	realrun -actor 70b -critic 7b -nodes 16 -system real
+//	realrun -actor 7b -critic 7b -nodes 2 -system openrlhf -cudagraph=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"realhf/internal/baselines"
+	"realhf/internal/core"
+	"realhf/internal/estimator"
+	"realhf/internal/experiments"
+	"realhf/internal/model"
+	"realhf/internal/runtime"
+	"realhf/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	actor := flag.String("actor", "7b", "actor model size (7b, 13b, 34b, 70b)")
+	critic := flag.String("critic", "7b", "critic/reward model size")
+	nodes := flag.Int("nodes", 2, "number of 8-GPU nodes")
+	batch := flag.Int("batch", 0, "global batch size (default: 512 per 16 GPUs)")
+	algo := flag.String("algo", "ppo", "RLHF algorithm: ppo, dpo, grpo, remax")
+	system := flag.String("system", "real",
+		"plan source: real, real-heuristic, dschat, openrlhf, nemo-aligner, verl")
+	steps := flag.Int("steps", 4000, "MCMC search steps (system=real)")
+	seed := flag.Int64("seed", 1, "search seed")
+	cudaGraph := flag.Bool("cudagraph", true, "capture decode kernels into CUDA graphs")
+	tcp := flag.Bool("tcp", false, "drive model workers over TCP sockets instead of channels")
+	planFile := flag.String("plan", "", "load a plan saved by realsearch -save instead of planning")
+	chromeTrace := flag.String("chrometrace", "", "write the execution timeline as a Chrome trace JSON")
+	flag.Parse()
+
+	actorCfg, err := model.ByName(*actor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	criticCfg, err := model.ByName(*critic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := experiments.PaperSetting(*nodes, actorCfg, criticCfg)
+	s.Algo = *algo
+	if *batch > 0 {
+		s.Batch = *batch
+	}
+	pr, err := experiments.NewProblem(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var plan *core.Plan
+	switch {
+	case *planFile != "":
+		plan, err = core.LoadPlan(*planFile, pr.Graph)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *system == "real":
+		res, err := pr.SearchPlan(*steps, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan = res.Plan
+	default:
+		plan, _, err = baselines.Evaluate(baselines.System(*system), pr.Est, pr.Cluster, pr.Graph, pr.Models)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	opts := runtime.Options{UseCUDAGraph: *cudaGraph}
+	if *tcp {
+		static := estimator.StaticPerGPU(plan)
+		workers := make([]*runtime.ModelWorker, pr.Cluster.NumGPUs())
+		for i := range workers {
+			workers[i] = runtime.NewModelWorker(i, pr.Cluster.GPU.MemoryBytes)
+			workers[i].StaticBytes = static[i]
+		}
+		addr, stop, err := runtime.ServeWorkersTCP(workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		tr, err := runtime.NewTCPTransport(addr, len(workers))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tr.Close()
+		opts.Transport = tr
+		opts.Workers = workers
+		fmt.Printf("workers serving on %s\n", addr)
+	}
+
+	rep, err := runtime.Run(plan, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *chromeTrace != "" {
+		if err := trace.ExportChromeTrace(rep, plan, *chromeTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline written to %s (open in chrome://tracing)\n", *chromeTrace)
+	}
+
+	fmt.Printf("Plan (%s) for %s+%s on %d GPUs:\n\n", *system, *actor, *critic, pr.Cluster.NumGPUs())
+	fmt.Print(plan.Table(rep.CallTimes))
+	fmt.Println()
+
+	names := make([]string, 0, len(rep.CallTimes))
+	for name := range rep.CallTimes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("Wall-time breakdown:")
+	for _, name := range names {
+		fmt.Printf("  %-14s %8.1fs\n", name, rep.CallTimes[name])
+	}
+	fmt.Printf("  %-14s %8.1fs\n", "comm (realloc)", rep.CommTimeV)
+	fmt.Printf("  %-14s %8.1fs\n", "end-to-end", rep.MakespanV)
+	fmt.Printf("\nThroughput: %.2f PFLOP/s   Peak memory: %.1f GB   OOM: %v\n",
+		estimator.Throughput(plan, rep.MakespanV), float64(rep.PeakBytes)/(1<<30), rep.OOM)
+	for _, e := range rep.Errors {
+		fmt.Println("  worker error:", e)
+	}
+}

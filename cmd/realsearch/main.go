@@ -1,0 +1,92 @@
+// Command realsearch searches for an execution plan for one RLHF experiment
+// and prints it in the format of paper Tables 2–5, together with the
+// estimator's prediction.
+//
+// Usage:
+//
+//	realsearch -actor 70b -critic 7b -nodes 16 -batch 4096 -steps 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"realhf/internal/baselines"
+	"realhf/internal/core"
+	"realhf/internal/experiments"
+	"realhf/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	actor := flag.String("actor", "7b", "actor model size (7b, 13b, 34b, 70b)")
+	critic := flag.String("critic", "7b", "critic/reward model size")
+	nodes := flag.Int("nodes", 2, "number of 8-GPU nodes")
+	batch := flag.Int("batch", 0, "global batch size (default: 512 per 16 GPUs)")
+	prompt := flag.Int("prompt", 1024, "prompt length in tokens")
+	gen := flag.Int("gen", 1024, "generated tokens per sequence")
+	algo := flag.String("algo", "ppo", "RLHF algorithm: ppo, dpo, grpo, remax")
+	steps := flag.Int("steps", 4000, "MCMC search steps")
+	seed := flag.Int64("seed", 1, "search seed")
+	heuristic := flag.Bool("heuristic", false, "print the heuristic plan instead of searching")
+	save := flag.String("save", "", "write the resulting plan to this JSON file")
+	flag.Parse()
+
+	actorCfg, err := model.ByName(*actor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	criticCfg, err := model.ByName(*critic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := experiments.PaperSetting(*nodes, actorCfg, criticCfg)
+	s.PromptLen, s.GenLen, s.Algo = *prompt, *gen, *algo
+	if *batch > 0 {
+		s.Batch = *batch
+	}
+	pr, err := experiments.NewProblem(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *heuristic {
+		plan, err := baselines.BuildHeuristic(pr.Cluster, pr.Graph, pr.Models)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pr.Est.Evaluate(plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Heuristic plan for %s actor + %s critic on %d GPUs (%s):\n\n",
+			*actor, *critic, pr.Cluster.NumGPUs(), *algo)
+		fmt.Print(plan.Table(res.CallTimes))
+		fmt.Printf("\nEstimated iteration time: %.1fs   MaxMem: %.1f GB   OOM: %v\n",
+			res.TimeCost, float64(res.MaxMem)/(1<<30), res.OOM)
+		return
+	}
+
+	res, err := pr.SearchPlan(*steps, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *save != "" {
+		if err := core.SavePlan(res.Plan, *save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("plan written to %s\n", *save)
+	}
+	fmt.Printf("Searched plan for %s actor + %s critic on %d GPUs (%s, %d steps):\n\n",
+		*actor, *critic, pr.Cluster.NumGPUs(), *algo, res.Steps)
+	fmt.Print(res.Plan.Table(res.Estimate.CallTimes))
+	fmt.Printf("\nEstimated iteration time: %.1fs   MaxMem: %.1f GB   OOM: %v\n",
+		res.Estimate.TimeCost, float64(res.Estimate.MaxMem)/(1<<30), res.Estimate.OOM)
+	fmt.Printf("Search space: ~1e%.0f plans, accepted %d/%d moves\n",
+		res.SpaceLog10, res.Accepted, res.Steps)
+	if res.Estimate.OOM {
+		os.Exit(1)
+	}
+}

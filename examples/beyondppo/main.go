@@ -1,0 +1,75 @@
+// Beyond PPO: ReaL accelerates any RLHF algorithm whose workflow is a DAG of
+// generation/inference/training calls (paper §4, Fig. 16). This example
+// declares ReMax — two independent generations (sampled and greedy) feeding
+// two reward inferences and one training call — through the public API, and
+// shows that the planner runs the two generations concurrently on disjoint
+// device meshes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"realhf"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	remax := []realhf.ModelFunctionCallDef{
+		{Name: "SampleGen", ModelName: "actor", ModelType: "llama7b",
+			InterfaceType: realhf.Generate,
+			InputData:     []string{"prompts"}, OutputData: []string{"sample_seq"}},
+		{Name: "GreedyGen", ModelName: "actor", ModelType: "llama7b",
+			InterfaceType: realhf.Generate,
+			InputData:     []string{"prompts"}, OutputData: []string{"greedy_seq"}},
+		{Name: "SampleRew", ModelName: "reward", ModelType: "llama7b-critic",
+			InterfaceType: realhf.Inference,
+			InputData:     []string{"sample_seq"}, OutputData: []string{"sample_r"}},
+		{Name: "GreedyRew", ModelName: "reward", ModelType: "llama7b-critic",
+			InterfaceType: realhf.Inference,
+			InputData:     []string{"greedy_seq"}, OutputData: []string{"greedy_r"}},
+		{Name: "ActorTrain", ModelName: "actor", ModelType: "llama7b",
+			InterfaceType: realhf.TrainStep,
+			InputData:     []string{"sample_seq", "sample_r", "greedy_r"}},
+	}
+
+	cfg := realhf.ExperimentConfig{
+		Nodes:       2,
+		BatchSize:   256,
+		PromptLen:   1024,
+		GenLen:      1024,
+		RPCs:        remax,
+		SearchSteps: 3000,
+		Seed:        42,
+	}
+	exp, err := realhf.Auto(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ReMax execution plan (note the two generation calls):")
+	fmt.Println(exp.PlanTable())
+
+	rep, err := exp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	heur, err := realhf.Heuristic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hrep, err := heur.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ReaL:      %.1fs/iter  (%.2f PFLOP/s)\n", rep.IterationTime, rep.ThroughputPFLOPs)
+	fmt.Printf("Heuristic: %.1fs/iter  (%.2f PFLOP/s)\n", hrep.IterationTime, hrep.ThroughputPFLOPs)
+	fmt.Printf("Speedup:   %.2fx — ReMax benefits most from concurrent generations (paper Fig. 16)\n",
+		hrep.IterationTime/rep.IterationTime)
+
+	a := exp.Plan.Assign["SampleGen"]
+	b := exp.Plan.Assign["GreedyGen"]
+	if !a.Mesh.Overlaps(b.Mesh) {
+		fmt.Println("\nThe two generations were placed on disjoint meshes and run concurrently.")
+	}
+}

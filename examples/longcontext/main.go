@@ -1,0 +1,61 @@
+// Long-context scenario: the paper's Fig. 8 observation that ReaL's
+// advantage over the symmetric heuristic grows with the context length
+// (+54% average at 2048 tokens, +81% at 8192). This example runs one size
+// combination at both context lengths with a fixed token budget and prints
+// the gains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"realhf"
+)
+
+func run(ctx int) (realSpeed, heurSpeed float64) {
+	// Fixed token budget: the batch shrinks as the context grows.
+	batch := 512 * 2048 / ctx
+	cfg := realhf.ExperimentConfig{
+		Nodes:       2,
+		BatchSize:   batch,
+		PromptLen:   1024,
+		GenLen:      ctx - 1024,
+		MiniBatches: 8,
+		RPCs:        realhf.PPORPCs("llama13b", "llama7b-critic"),
+		SearchSteps: 3000,
+		Seed:        int64(ctx),
+	}
+	exp, err := realhf.Auto(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := exp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	heur, err := realhf.Heuristic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hrep, err := heur.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep.ThroughputPFLOPs, hrep.ThroughputPFLOPs
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("13B actor + 7B critic on 16 GPUs, fixed token budget:")
+	fmt.Printf("%8s %12s %12s %8s\n", "Context", "ReaL PF/s", "Heur PF/s", "Gain")
+	var gains []float64
+	for _, ctx := range []int{2048, 8192} {
+		r, h := run(ctx)
+		gain := (r - h) / h
+		gains = append(gains, gain)
+		fmt.Printf("%8d %12.2f %12.2f %+7.0f%%\n", ctx, r, h, 100*gain)
+	}
+	if gains[1] > gains[0] {
+		fmt.Println("\nAs in the paper, the searched plan's advantage grows with context length.")
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: define a PPO experiment with the paper's Fig. 18-style API,
+// let ReaL search for an execution plan, and run one RLHF iteration on the
+// simulated cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"realhf"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 7B actor with a 7B-scale critic on two 8-GPU nodes — the paper's
+	// small representative case (Tables 4/5).
+	exp, err := realhf.Auto(realhf.ExperimentConfig{
+		Nodes:       2,
+		BatchSize:   512,
+		PromptLen:   1024,
+		GenLen:      1024,
+		MiniBatches: 8,
+		RPCs:        realhf.PPORPCs("llama7b", "llama7b-critic"),
+		SearchSteps: 3000,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Searched execution plan:")
+	fmt.Println(exp.PlanTable())
+
+	report, err := exp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Iteration time:  %.1fs\n", report.IterationTime)
+	fmt.Printf("Throughput:      %.2f PFLOP/s\n", report.ThroughputPFLOPs)
+	fmt.Printf("Realloc/transfer %.2fs\n", report.CommTime)
+
+	// Compare against the pre-training-inspired symmetric plan.
+	heur, err := realhf.Heuristic(exp.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heurReport, err := heur.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHeuristic iteration time: %.1fs  (ReaL speedup: %.2fx)\n",
+		heurReport.IterationTime, heurReport.IterationTime/report.IterationTime)
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"realhf/internal/dfg"
+	"realhf/internal/memory"
+	"realhf/internal/mesh"
+)
+
+// Kind classifies augmented-graph nodes (paper Fig. 5: model function call
+// nodes plus the rounded-square transfer nodes).
+type Kind int
+
+const (
+	// KindCall is a model function call.
+	KindCall Kind = iota
+	// KindParamRealloc redistributes a model's parameters from its home
+	// layout to the layout of an upcoming call.
+	KindParamRealloc
+	// KindDataTransfer moves intermediate data (sequences, log-probs,
+	// rewards) between the meshes of dependent calls.
+	KindDataTransfer
+	// KindOffload reloads parameters parked in host memory onto the call's
+	// mesh over PCIe.
+	KindOffload
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCall:
+		return "call"
+	case KindParamRealloc:
+		return "realloc"
+	case KindDataTransfer:
+		return "xfer"
+	case KindOffload:
+		return "offload"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// AugNode is one node of the augmented dataflow graph Gp. Transfer-style
+// nodes occupy both endpoint meshes; call nodes occupy exactly their
+// assignment's mesh.
+type AugNode struct {
+	ID    int
+	Kind  Kind
+	Label string
+	// Call is set for KindCall.
+	Call *dfg.Node
+	// Role owning the payload for realloc/offload nodes.
+	Role dfg.Role
+	// Meshes are the device meshes this node occupies while executing.
+	Meshes []mesh.Mesh
+	// Bytes is the payload size for transfer-style nodes.
+	Bytes int64
+	// Src and Dst are the endpoint assignments of transfer-style nodes.
+	Src, Dst Assignment
+
+	Parents  []int
+	Children []int
+}
+
+// OccupiesGPU reports whether the node uses the given global GPU index.
+func (n *AugNode) OccupiesGPU(g int) bool {
+	for _, m := range n.Meshes {
+		if m.Contains(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether two nodes contend for any device.
+func (n *AugNode) Overlaps(o *AugNode) bool {
+	for _, a := range n.Meshes {
+		for _, b := range o.Meshes {
+			if a.Overlaps(b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AugGraph is Gp: the plan's calls plus induced communication nodes.
+type AugGraph struct {
+	Plan  *Plan
+	Nodes []*AugNode
+}
+
+func (g *AugGraph) addNode(n *AugNode) *AugNode {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+func (g *AugGraph) addEdge(parent, child *AugNode) {
+	parent.Children = append(parent.Children, child.ID)
+	child.Parents = append(child.Parents, parent.ID)
+}
+
+// CallNode returns the augmented node wrapping the given dfg node.
+func (g *AugGraph) CallNode(d *dfg.Node) *AugNode {
+	for _, n := range g.Nodes {
+		if n.Kind == KindCall && n.Call == d {
+			return n
+		}
+	}
+	return nil
+}
+
+// dataBytesPerToken approximates the per-token payload moved between calls:
+// token ids, log-probs, rewards/values — a few scalars per position. The
+// paper observes this traffic is negligible next to parameter reallocation,
+// which our cost model reproduces.
+const dataBytesPerToken = 8
+
+// BuildAugGraph expands the plan into its augmented dataflow graph:
+//
+//   - every dfg node becomes a call node on its assigned mesh;
+//   - a KindParamRealloc node precedes any call whose assignment differs
+//     from the role's home (the bf16 weights are broadcast from the home
+//     layout to the call layout, Fig. 6), gated by the call's same-role
+//     parameter-version parents;
+//   - a KindOffload node precedes calls of roles parked in host memory;
+//   - a KindDataTransfer node replaces each data edge whose endpoints have
+//     different assignments.
+func (p *Plan) BuildAugGraph() (*AugGraph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &AugGraph{Plan: p}
+	order, err := p.Graph.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+
+	callNodes := make(map[int]*AugNode, len(order))
+	for _, d := range order {
+		a := p.Assign[d.Name]
+		callNodes[d.ID] = g.addNode(&AugNode{
+			Kind:  KindCall,
+			Label: fmt.Sprintf("%s@%d", d.Name, d.Iter),
+			Call:  d,
+			Role:  d.Role,
+			Meshes: []mesh.Mesh{
+				a.Mesh,
+			},
+		})
+	}
+
+	for _, d := range order {
+		cn := callNodes[d.ID]
+		a := p.Assign[d.Name]
+		ms := p.Models[d.Role]
+		home, _ := p.HomeOf(d.Role)
+
+		// Parameter-version parents: same-role calls feeding this one.
+		var versionParents []*AugNode
+		for _, par := range p.Graph.Parents(d) {
+			if par.Role == d.Role {
+				versionParents = append(versionParents, callNodes[par.ID])
+			}
+		}
+
+		switch {
+		case ms.OffloadWhenIdle && !ms.Trainable:
+			// Reload weights from host memory onto the call mesh.
+			off := g.addNode(&AugNode{
+				Kind:   KindOffload,
+				Label:  fmt.Sprintf("offload:%s@%d", d.Name, d.Iter),
+				Role:   d.Role,
+				Meshes: []mesh.Mesh{a.Mesh},
+				Bytes:  memory.ParamShardBytes(ms.Params(), a.Strategy) * int64(a.Mesh.NumGPUs()),
+				Dst:    a,
+			})
+			for _, vp := range versionParents {
+				g.addEdge(vp, off)
+			}
+			g.addEdge(off, cn)
+		case !a.Equal(home):
+			// Reallocate parameters home layout -> call layout.
+			re := g.addNode(&AugNode{
+				Kind:   KindParamRealloc,
+				Label:  fmt.Sprintf("realloc:%s@%d", d.Name, d.Iter),
+				Role:   d.Role,
+				Meshes: []mesh.Mesh{home.Mesh, a.Mesh},
+				Bytes:  ms.Params() * 2,
+				Src:    home,
+				Dst:    a,
+			})
+			for _, vp := range versionParents {
+				g.addEdge(vp, re)
+			}
+			g.addEdge(re, cn)
+		}
+
+		// Data edges from parents.
+		for _, par := range p.Graph.Parents(d) {
+			pn := callNodes[par.ID]
+			pa := p.Assign[par.Name]
+			if par.Role == d.Role && par.Type == dfg.Train {
+				// Pure version dependency: the realloc/offload node (or the
+				// call itself) already waits on it.
+				g.addEdge(pn, cn)
+				continue
+			}
+			if pa.Equal(a) {
+				g.addEdge(pn, cn)
+				continue
+			}
+			xfer := g.addNode(&AugNode{
+				Kind:   KindDataTransfer,
+				Label:  fmt.Sprintf("xfer:%s->%s@%d", par.Name, d.Name, d.Iter),
+				Meshes: []mesh.Mesh{pa.Mesh, a.Mesh},
+				Bytes:  par.Work.TotalTokens() * dataBytesPerToken,
+				Src:    pa,
+				Dst:    a,
+			})
+			g.addEdge(pn, xfer)
+			g.addEdge(xfer, cn)
+		}
+	}
+	return g, nil
+}
+
+// Sources returns augmented nodes with no parents.
+func (g *AugGraph) Sources() []*AugNode {
+	var out []*AugNode
+	for _, n := range g.Nodes {
+		if len(n.Parents) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Validate checks the augmented graph is a DAG.
+func (g *AugGraph) Validate() error {
+	indeg := make([]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		indeg[n.ID] = len(n.Parents)
+	}
+	var queue []int
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, c := range g.Nodes[id].Children {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if seen != len(g.Nodes) {
+		return fmt.Errorf("core: augmented graph has a cycle")
+	}
+	return nil
+}

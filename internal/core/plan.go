@@ -1,0 +1,221 @@
+// Package core implements the paper's central abstraction: the execution
+// plan (§4). A plan assigns every model function call of an RLHF dataflow
+// graph a device mesh D_i and a parallelization strategy S_i, and expands
+// into an augmented dataflow graph Gp whose extra nodes are the parameter
+// reallocations, data transfers and offload operations the assignment
+// implies (Fig. 5).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"realhf/internal/dfg"
+	"realhf/internal/hardware"
+	"realhf/internal/mesh"
+	"realhf/internal/model"
+	"realhf/internal/parallel"
+)
+
+// Assignment binds a model function call to a device mesh and a strategy.
+type Assignment struct {
+	Mesh     mesh.Mesh
+	Strategy parallel.Strategy
+}
+
+// Equal reports whether two assignments are identical.
+func (a Assignment) Equal(b Assignment) bool {
+	return a.Mesh.Equal(b.Mesh) && a.Strategy == b.Strategy
+}
+
+func (a Assignment) String() string {
+	return fmt.Sprintf("%s %s", a.Mesh, a.Strategy)
+}
+
+// ModelSpec describes one of the plan's LLMs.
+type ModelSpec struct {
+	Role dfg.Role
+	Cfg  model.Config
+	// IsCritic marks scalar-head models (critic, reward).
+	IsCritic bool
+	// Trainable models keep gradients and optimizer state at their home.
+	Trainable bool
+	// OffloadWhenIdle parks a frozen model's weights in host memory between
+	// calls, trading PCIe reloads for HBM.
+	OffloadWhenIdle bool
+}
+
+// Params is the model's parameter count, respecting the head variant.
+func (ms ModelSpec) Params() int64 {
+	if ms.IsCritic {
+		return ms.Cfg.CriticParams()
+	}
+	return ms.Cfg.Params()
+}
+
+// PPOModels builds the standard four-model RLHF cast: a trainable actor and
+// critic plus frozen reference and reward models (critic-sized).
+func PPOModels(actor, critic model.Config) map[dfg.Role]ModelSpec {
+	return map[dfg.Role]ModelSpec{
+		dfg.Actor:  {Role: dfg.Actor, Cfg: actor, Trainable: true},
+		dfg.Critic: {Role: dfg.Critic, Cfg: critic, IsCritic: true, Trainable: true},
+		dfg.Ref:    {Role: dfg.Ref, Cfg: actor},
+		dfg.Reward: {Role: dfg.Reward, Cfg: critic, IsCritic: true},
+	}
+}
+
+// ModelsFor builds the model cast needed by the given algorithm's graph.
+func ModelsFor(g *dfg.Graph, actor, critic model.Config) map[dfg.Role]ModelSpec {
+	all := PPOModels(actor, critic)
+	out := map[dfg.Role]ModelSpec{}
+	for _, r := range g.Roles() {
+		ms, ok := all[r]
+		if !ok {
+			ms = ModelSpec{Role: r, Cfg: actor}
+		}
+		out[r] = ms
+	}
+	return out
+}
+
+// Plan is an execution plan p: per-call assignments over a cluster for a
+// dataflow graph. Assignments are keyed by call name; the same call repeats
+// with the same assignment every iteration, as in the paper's plans
+// (Tables 2–5).
+type Plan struct {
+	Cluster hardware.Cluster
+	Graph   *dfg.Graph
+	Models  map[dfg.Role]ModelSpec
+	Assign  map[string]Assignment
+}
+
+// NewPlan allocates an empty plan for the graph.
+func NewPlan(cluster hardware.Cluster, g *dfg.Graph, models map[dfg.Role]ModelSpec) *Plan {
+	return &Plan{Cluster: cluster, Graph: g, Models: models, Assign: map[string]Assignment{}}
+}
+
+// Clone deep-copies the plan (graph and models are shared, assignments are
+// copied) — the search engine mutates clones.
+func (p *Plan) Clone() *Plan {
+	a := make(map[string]Assignment, len(p.Assign))
+	for k, v := range p.Assign {
+		a[k] = v
+	}
+	return &Plan{Cluster: p.Cluster, Graph: p.Graph, Models: p.Models, Assign: a}
+}
+
+// CallNames returns the distinct call names of the graph in first-appearance
+// order.
+func (p *Plan) CallNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range p.Graph.Nodes {
+		if !seen[n.Name] {
+			seen[n.Name] = true
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// AssignmentOf returns the assignment of a call node.
+func (p *Plan) AssignmentOf(n *dfg.Node) (Assignment, bool) {
+	a, ok := p.Assign[n.Name]
+	return a, ok
+}
+
+// Validate checks that every call is assigned a legal mesh and a strategy
+// valid for its model and workload.
+func (p *Plan) Validate() error {
+	if err := p.Cluster.Validate(); err != nil {
+		return err
+	}
+	for _, n := range p.Graph.Nodes {
+		a, ok := p.Assign[n.Name]
+		if !ok {
+			return fmt.Errorf("core: call %q has no assignment", n.Name)
+		}
+		if err := a.Mesh.Validate(); err != nil {
+			return fmt.Errorf("core: call %q: %w", n.Name, err)
+		}
+		if a.Mesh.First+a.Mesh.Count > p.Cluster.NumGPUs() {
+			return fmt.Errorf("core: call %q mesh %v exceeds cluster of %d GPUs", n.Name, a.Mesh, p.Cluster.NumGPUs())
+		}
+		if a.Mesh.M != p.Cluster.GPUsPerNode {
+			return fmt.Errorf("core: call %q mesh node size %d != cluster %d", n.Name, a.Mesh.M, p.Cluster.GPUsPerNode)
+		}
+		ms, ok := p.Models[n.Role]
+		if !ok {
+			return fmt.Errorf("core: no model spec for role %q", n.Role)
+		}
+		batch := n.Work.Batch
+		if n.Type == dfg.Train && n.Work.MiniBatches > 1 {
+			batch /= n.Work.MiniBatches
+		}
+		if err := a.Strategy.Validate(a.Mesh, ms.Cfg, batch); err != nil {
+			return fmt.Errorf("core: call %q: %w", n.Name, err)
+		}
+	}
+	return nil
+}
+
+// HomeOf returns the assignment where a role's parameters (and, for
+// trainable roles, gradients and optimizer states) rest: the role's training
+// call if it has one, otherwise its first call.
+func (p *Plan) HomeOf(role dfg.Role) (Assignment, bool) {
+	var first Assignment
+	found := false
+	for _, n := range p.Graph.Nodes {
+		if n.Role != role {
+			continue
+		}
+		a, ok := p.Assign[n.Name]
+		if !ok {
+			continue
+		}
+		if n.Type == dfg.Train {
+			return a, true
+		}
+		if !found {
+			first, found = a, true
+		}
+	}
+	return first, found
+}
+
+// Signature returns a canonical string identifying the plan's assignments,
+// used by the search engine to deduplicate visited states.
+func (p *Plan) Signature() string {
+	names := p.CallNames()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		a := p.Assign[name]
+		fmt.Fprintf(&b, "%s:%d+%d:%d/%d/%d/%d;", name,
+			a.Mesh.First, a.Mesh.Count,
+			a.Strategy.DP, a.Strategy.TP, a.Strategy.PP, a.Strategy.MicroBatches)
+	}
+	return b.String()
+}
+
+// Table renders the plan in the format of paper Tables 2–5. Durations (if
+// provided, keyed by call name, in seconds) fill the Time column.
+func (p *Plan) Table(times map[string]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-16s %4s %4s %4s %8s %10s\n",
+		"Call", "DeviceMesh", "TP", "PP", "DP", "#Micro", "Time")
+	for _, name := range p.CallNames() {
+		a := p.Assign[name]
+		timeStr := "-"
+		if times != nil {
+			if t, ok := times[name]; ok {
+				timeStr = fmt.Sprintf("%.1fs", t)
+			}
+		}
+		fmt.Fprintf(&b, "%-12s %-16s %4d %4d %4d %8d %10s\n",
+			name, a.Mesh, a.Strategy.TP, a.Strategy.PP, a.Strategy.DP,
+			a.Strategy.MicroBatches, timeStr)
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"realhf/internal/dfg"
+	"realhf/internal/hardware"
+	"realhf/internal/mesh"
+	"realhf/internal/model"
+	"realhf/internal/parallel"
+)
+
+// planJSON is the on-disk representation of an execution plan. It carries
+// the cluster shape, the model cast, and the per-call assignments — enough
+// to rebuild the plan against a freshly constructed dataflow graph.
+type planJSON struct {
+	Version     int                       `json:"version"`
+	Nodes       int                       `json:"nodes"`
+	GPUsPerNode int                       `json:"gpus_per_node"`
+	Algo        string                    `json:"algo"`
+	Models      []modelJSON               `json:"models"`
+	Assignments map[string]assignmentJSON `json:"assignments"`
+}
+
+type modelJSON struct {
+	Role      string `json:"role"`
+	Arch      string `json:"arch"`
+	IsCritic  bool   `json:"is_critic,omitempty"`
+	Trainable bool   `json:"trainable,omitempty"`
+	Offload   bool   `json:"offload_when_idle,omitempty"`
+}
+
+type assignmentJSON struct {
+	MeshFirst    int  `json:"mesh_first"`
+	MeshCount    int  `json:"mesh_count"`
+	DP           int  `json:"dp"`
+	TP           int  `json:"tp"`
+	PP           int  `json:"pp"`
+	MicroBatches int  `json:"micro_batches"`
+	ZeRO3        bool `json:"zero3,omitempty"`
+}
+
+// MarshalJSON encodes the plan for storage; the dataflow graph itself is not
+// serialized (it is reconstructed from the experiment configuration).
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	out := planJSON{
+		Version:     1,
+		Nodes:       p.Cluster.Nodes,
+		GPUsPerNode: p.Cluster.GPUsPerNode,
+		Algo:        p.Graph.Algo,
+		Assignments: map[string]assignmentJSON{},
+	}
+	for _, role := range p.Graph.Roles() {
+		ms := p.Models[role]
+		out.Models = append(out.Models, modelJSON{
+			Role: string(role), Arch: ms.Cfg.Name, IsCritic: ms.IsCritic,
+			Trainable: ms.Trainable, Offload: ms.OffloadWhenIdle,
+		})
+	}
+	for name, a := range p.Assign {
+		out.Assignments[name] = assignmentJSON{
+			MeshFirst: a.Mesh.First, MeshCount: a.Mesh.Count,
+			DP: a.Strategy.DP, TP: a.Strategy.TP, PP: a.Strategy.PP,
+			MicroBatches: a.Strategy.MicroBatches, ZeRO3: a.Strategy.ZeRO3,
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// SavePlan writes the plan to a file.
+func SavePlan(p *Plan, path string) error {
+	data, err := p.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("core: marshal plan: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadPlan reads a serialized plan and attaches it to the given dataflow
+// graph, validating the result. The graph's call names must match the
+// stored assignments.
+func LoadPlan(path string, g *dfg.Graph) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read plan: %w", err)
+	}
+	var in planJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: parse plan: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported plan version %d", in.Version)
+	}
+	cluster := hardware.DefaultCluster(in.Nodes)
+	if in.GPUsPerNode > 0 {
+		cluster.GPUsPerNode = in.GPUsPerNode
+	}
+	models := map[dfg.Role]ModelSpec{}
+	for _, mj := range in.Models {
+		cfg, err := model.ByName(mj.Arch)
+		if err != nil {
+			return nil, fmt.Errorf("core: plan references %w", err)
+		}
+		models[dfg.Role(mj.Role)] = ModelSpec{
+			Role: dfg.Role(mj.Role), Cfg: cfg, IsCritic: mj.IsCritic,
+			Trainable: mj.Trainable, OffloadWhenIdle: mj.Offload,
+		}
+	}
+	p := NewPlan(cluster, g, models)
+	known := map[string]bool{}
+	for _, n := range g.Nodes {
+		known[n.Name] = true
+	}
+	for name, aj := range in.Assignments {
+		if !known[name] {
+			return nil, fmt.Errorf("core: stored plan assigns call %q, which the graph does not contain", name)
+		}
+		p.Assign[name] = Assignment{
+			Mesh: mesh.Mesh{First: aj.MeshFirst, Count: aj.MeshCount, M: cluster.GPUsPerNode},
+			Strategy: parallel.Strategy{
+				DP: aj.DP, TP: aj.TP, PP: aj.PP,
+				MicroBatches: aj.MicroBatches, ZeRO3: aj.ZeRO3,
+			},
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded plan invalid: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,354 @@
+// Package dfg implements the paper's dataflow graphs (§4): RLHF workflows
+// decomposed into model function calls — generation, inference, and training
+// tasks on independent LLMs — with data and parameter-version dependencies.
+// Builders are provided for PPO (Fig. 4), DPO, GRPO, and ReMax (Fig. 16).
+package dfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CallType classifies a model function call (paper §2.1).
+type CallType int
+
+const (
+	// Generate is auto-regressive sampling: a prefill pass over the prompt
+	// followed by one decoding step per generated token.
+	Generate CallType = iota
+	// Inference is a single forward pass over prompt+response.
+	Inference
+	// Train is a forward, backward and parameter update, possibly repeated
+	// over several PPO mini-batches.
+	Train
+)
+
+func (t CallType) String() string {
+	switch t {
+	case Generate:
+		return "generate"
+	case Inference:
+		return "inference"
+	case Train:
+		return "train"
+	}
+	return fmt.Sprintf("calltype(%d)", int(t))
+}
+
+// Role identifies which LLM a call runs on. Models sharing a Role share
+// parameters (and hence parameter-version dependencies across calls).
+type Role string
+
+// The four RLHF models of the PPO workflow.
+const (
+	Actor  Role = "actor"
+	Critic Role = "critic"
+	Ref    Role = "ref"
+	Reward Role = "reward"
+)
+
+// Workload describes the data shape a call processes. Batch is the number of
+// sequences entering the call on this iteration; PromptLen and GenLen are
+// token counts per sequence. For Train calls, MiniBatches is the number of
+// sequential PPO mini-batch updates (each over Batch/MiniBatches sequences).
+type Workload struct {
+	Batch       int
+	PromptLen   int
+	GenLen      int
+	MiniBatches int
+}
+
+// SeqLen is the full sequence length the call touches.
+func (w Workload) SeqLen() int { return w.PromptLen + w.GenLen }
+
+// TotalTokens is Batch×SeqLen.
+func (w Workload) TotalTokens() int64 { return int64(w.Batch) * int64(w.SeqLen()) }
+
+// Node is one model function call v_i^t.
+type Node struct {
+	ID   int
+	Name string // e.g. "ActorGen"
+	Role Role
+	Type CallType
+	Iter int // training iteration t
+	Work Workload
+}
+
+// Graph is a DAG of model function calls. Edges carry either data
+// dependencies (within an iteration) or parameter-version dependencies
+// (training at iteration t gates uses of the same Role at t+1).
+type Graph struct {
+	Nodes []*Node
+	// Name of the algorithm ("ppo", "dpo", ...).
+	Algo string
+
+	parents  map[int][]int
+	children map[int][]int
+}
+
+// NewGraph returns an empty graph for the named algorithm.
+func NewGraph(algo string) *Graph {
+	return &Graph{Algo: algo, parents: map[int][]int{}, children: map[int][]int{}}
+}
+
+// AddNode appends a call and returns it.
+func (g *Graph) AddNode(name string, role Role, typ CallType, iter int, w Workload) *Node {
+	n := &Node{ID: len(g.Nodes), Name: name, Role: role, Type: typ, Iter: iter, Work: w}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// AddEdge records a dependency from parent to child.
+func (g *Graph) AddEdge(parent, child *Node) {
+	g.children[parent.ID] = append(g.children[parent.ID], child.ID)
+	g.parents[child.ID] = append(g.parents[child.ID], parent.ID)
+}
+
+// Parents returns the dependency parents of a node.
+func (g *Graph) Parents(n *Node) []*Node { return g.resolve(g.parents[n.ID]) }
+
+// Children returns the dependents of a node.
+func (g *Graph) Children(n *Node) []*Node { return g.resolve(g.children[n.ID]) }
+
+func (g *Graph) resolve(ids []int) []*Node {
+	out := make([]*Node, len(ids))
+	for i, id := range ids {
+		out[i] = g.Nodes[id]
+	}
+	return out
+}
+
+// Sources returns nodes with no parents.
+func (g *Graph) Sources() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if len(g.parents[n.ID]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Roles returns the distinct model roles appearing in the graph, sorted.
+func (g *Graph) Roles() []Role {
+	set := map[Role]bool{}
+	for _, n := range g.Nodes {
+		set[n.Role] = true
+	}
+	out := make([]Role, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CallsOfIter returns the nodes of iteration t in ID order.
+func (g *Graph) CallsOfIter(t int) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Iter == t {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TopoSort returns the nodes in a dependency-respecting order, or an error
+// if the graph has a cycle.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	indeg := make([]int, len(g.Nodes))
+	for id := range g.Nodes {
+		indeg[id] = len(g.parents[id])
+	}
+	var queue []int
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	var out []*Node
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		out = append(out, g.Nodes[id])
+		for _, c := range g.children[id] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(out) != len(g.Nodes) {
+		return nil, fmt.Errorf("dfg: graph %q has a cycle", g.Algo)
+	}
+	return out, nil
+}
+
+// Validate checks the graph is a DAG with consistent edges.
+func (g *Graph) Validate() error {
+	_, err := g.TopoSort()
+	return err
+}
+
+// Spec carries the algorithm-level knobs used by the builders.
+type Spec struct {
+	// Batch is the global number of prompts per iteration.
+	Batch int
+	// PromptLen and GenLen are per-sequence token counts. The paper's base
+	// setting uses prompt 1024, generation 1024 (context 2048).
+	PromptLen int
+	GenLen    int
+	// MiniBatches is the PPO mini-batch count (8 in the paper's base
+	// setting, after InstructGPT).
+	MiniBatches int
+	// Iterations is how many consecutive RLHF iterations to concatenate.
+	Iterations int
+	// GroupSize is GRPO's per-prompt group size (8 in the paper).
+	GroupSize int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.MiniBatches == 0 {
+		s.MiniBatches = 8
+	}
+	if s.Iterations == 0 {
+		s.Iterations = 1
+	}
+	if s.GroupSize == 0 {
+		s.GroupSize = 8
+	}
+	return s
+}
+
+// BuildPPO constructs the PPO dataflow graph of Fig. 4: per iteration,
+// ActorGen → {RewInf, RefInf, CriticInf} → {ActorTrain, CriticTrain}, with
+// parameter-version edges ActorTrain(t)→ActorGen(t+1) and
+// CriticTrain(t)→CriticInf(t+1).
+func BuildPPO(s Spec) *Graph {
+	s = s.withDefaults()
+	g := NewGraph("ppo")
+	var prevActorTrain, prevCriticTrain *Node
+	gen := Workload{Batch: s.Batch, PromptLen: s.PromptLen, GenLen: s.GenLen}
+	inf := Workload{Batch: s.Batch, PromptLen: s.PromptLen, GenLen: s.GenLen}
+	train := Workload{Batch: s.Batch, PromptLen: s.PromptLen, GenLen: s.GenLen, MiniBatches: s.MiniBatches}
+	for t := 0; t < s.Iterations; t++ {
+		actorGen := g.AddNode("ActorGen", Actor, Generate, t, gen)
+		rewInf := g.AddNode("RewInf", Reward, Inference, t, inf)
+		refInf := g.AddNode("RefInf", Ref, Inference, t, inf)
+		criticInf := g.AddNode("CriticInf", Critic, Inference, t, inf)
+		actorTrain := g.AddNode("ActorTrain", Actor, Train, t, train)
+		criticTrain := g.AddNode("CriticTrain", Critic, Train, t, train)
+
+		for _, infNode := range []*Node{rewInf, refInf, criticInf} {
+			g.AddEdge(actorGen, infNode)
+			g.AddEdge(infNode, actorTrain)
+			g.AddEdge(infNode, criticTrain)
+		}
+		if prevActorTrain != nil {
+			g.AddEdge(prevActorTrain, actorGen)
+		}
+		if prevCriticTrain != nil {
+			g.AddEdge(prevCriticTrain, criticInf)
+			g.AddEdge(prevCriticTrain, criticTrain)
+		}
+		prevActorTrain, prevCriticTrain = actorTrain, criticTrain
+	}
+	return g
+}
+
+// BuildDPO constructs the DPO graph of Fig. 16: RefInf → ActorTrain over
+// preference pairs (no generation, no critic). The batch counts pairs; both
+// chosen and rejected sequences pass through, which the workload expresses
+// by doubling the batch.
+func BuildDPO(s Spec) *Graph {
+	s = s.withDefaults()
+	g := NewGraph("dpo")
+	w := Workload{Batch: 2 * s.Batch, PromptLen: s.PromptLen, GenLen: s.GenLen}
+	train := w
+	train.MiniBatches = 1
+	var prevTrain *Node
+	for t := 0; t < s.Iterations; t++ {
+		refInf := g.AddNode("RefInf", Ref, Inference, t, w)
+		actorTrain := g.AddNode("ActorTrain", Actor, Train, t, train)
+		g.AddEdge(refInf, actorTrain)
+		if prevTrain != nil {
+			g.AddEdge(prevTrain, actorTrain)
+		}
+		prevTrain = actorTrain
+	}
+	return g
+}
+
+// BuildGRPO constructs the GRPO graph of Fig. 16: ActorGen (grouped: batch
+// ×GroupSize sequences) → {RewInf, RefInf} → ActorTrain. GRPO has no critic;
+// advantages are group-normalized rewards.
+func BuildGRPO(s Spec) *Graph {
+	s = s.withDefaults()
+	g := NewGraph("grpo")
+	grouped := Workload{Batch: s.Batch * s.GroupSize, PromptLen: s.PromptLen, GenLen: s.GenLen}
+	train := grouped
+	train.MiniBatches = s.MiniBatches
+	var prevTrain *Node
+	for t := 0; t < s.Iterations; t++ {
+		gen := g.AddNode("ActorGen", Actor, Generate, t, grouped)
+		rewInf := g.AddNode("RewInf", Reward, Inference, t, grouped)
+		refInf := g.AddNode("RefInf", Ref, Inference, t, grouped)
+		actorTrain := g.AddNode("ActorTrain", Actor, Train, t, train)
+		g.AddEdge(gen, rewInf)
+		g.AddEdge(gen, refInf)
+		g.AddEdge(rewInf, actorTrain)
+		g.AddEdge(refInf, actorTrain)
+		if prevTrain != nil {
+			g.AddEdge(prevTrain, gen)
+		}
+		prevTrain = actorTrain
+	}
+	return g
+}
+
+// BuildReMax constructs the ReMax graph of Fig. 16: two independent
+// generations (sampled and greedy) feed two reward inferences; the training
+// call consumes both (the greedy reward is the variance-reduction baseline).
+// The two generation calls have no mutual dependency — the paper notes ReaL
+// wins most on ReMax by running them concurrently.
+func BuildReMax(s Spec) *Graph {
+	s = s.withDefaults()
+	g := NewGraph("remax")
+	w := Workload{Batch: s.Batch, PromptLen: s.PromptLen, GenLen: s.GenLen}
+	train := w
+	train.MiniBatches = 1
+	var prevTrain *Node
+	for t := 0; t < s.Iterations; t++ {
+		sampleGen := g.AddNode("SampleGen", Actor, Generate, t, w)
+		greedyGen := g.AddNode("GreedyGen", Actor, Generate, t, w)
+		sampleRew := g.AddNode("SampleRew", Reward, Inference, t, w)
+		greedyRew := g.AddNode("GreedyRew", Reward, Inference, t, w)
+		actorTrain := g.AddNode("ActorTrain", Actor, Train, t, train)
+		g.AddEdge(sampleGen, sampleRew)
+		g.AddEdge(greedyGen, greedyRew)
+		g.AddEdge(sampleRew, actorTrain)
+		g.AddEdge(greedyRew, actorTrain)
+		if prevTrain != nil {
+			g.AddEdge(prevTrain, sampleGen)
+			g.AddEdge(prevTrain, greedyGen)
+		}
+		prevTrain = actorTrain
+	}
+	return g
+}
+
+// Build dispatches on the algorithm name.
+func Build(algo string, s Spec) (*Graph, error) {
+	switch algo {
+	case "ppo":
+		return BuildPPO(s), nil
+	case "dpo":
+		return BuildDPO(s), nil
+	case "grpo":
+		return BuildGRPO(s), nil
+	case "remax":
+		return BuildReMax(s), nil
+	}
+	return nil, fmt.Errorf("dfg: unknown algorithm %q", algo)
+}

@@ -1,0 +1,394 @@
+// Package estimator implements the paper's lightweight runtime estimator
+// (§5.1 and Algorithm 1): given an execution plan, it predicts the plan's
+// iteration time — scheduling the augmented dataflow graph with a priority
+// queue under the constraint that nodes on overlapping device meshes never
+// run concurrently — and its peak per-device memory. The cost function
+// multiplies the time by a large penalty when the plan would not fit
+// (§5.2).
+package estimator
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"realhf/internal/core"
+	"realhf/internal/dfg"
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/memory"
+	"realhf/internal/realloc"
+)
+
+// OOMPenalty is the paper's α: plans that exceed device memory keep a finite
+// but strongly discouraged cost so the MCMC chain can traverse them.
+const OOMPenalty = 100.0
+
+// Estimator predicts execution-plan cost from per-model cost tables.
+type Estimator struct {
+	HW hardware.Cluster
+	// Costers maps each model role to its per-layer cost source — profiled
+	// tables in the real pipeline, or the oracle directly for ground truth.
+	Costers map[dfg.Role]gpumodel.ModelCoster
+	Comm    gpumodel.Comm
+}
+
+// New builds an estimator over the given per-role cost sources.
+func New(hw hardware.Cluster, costers map[dfg.Role]gpumodel.ModelCoster) *Estimator {
+	return &Estimator{HW: hw, Costers: costers, Comm: gpumodel.Comm{HW: hw}}
+}
+
+// CallSpecOf resolves the gpumodel.CallSpec of a dfg node under a plan.
+func CallSpecOf(p *core.Plan, n *dfg.Node) (gpumodel.CallSpec, error) {
+	a, ok := p.AssignmentOf(n)
+	if !ok {
+		return gpumodel.CallSpec{}, fmt.Errorf("estimator: call %q unassigned", n.Name)
+	}
+	ms, ok := p.Models[n.Role]
+	if !ok {
+		return gpumodel.CallSpec{}, fmt.Errorf("estimator: role %q has no model", n.Role)
+	}
+	return gpumodel.CallSpec{
+		Cfg: ms.Cfg, IsCritic: ms.IsCritic, Type: n.Type, Work: n.Work,
+		Strategy: a.Strategy, Mesh: a.Mesh,
+	}, nil
+}
+
+// CallBreakdown estimates the duration and kernel-category breakdown of one
+// call.
+func (e *Estimator) CallBreakdown(p *core.Plan, n *dfg.Node) (gpumodel.Breakdown, error) {
+	spec, err := CallSpecOf(p, n)
+	if err != nil {
+		return gpumodel.Breakdown{}, err
+	}
+	mc, ok := e.Costers[n.Role]
+	if !ok {
+		return gpumodel.Breakdown{}, fmt.Errorf("estimator: no coster for role %q", n.Role)
+	}
+	return gpumodel.AssembleCall(mc, e.Comm, spec), nil
+}
+
+// nodeDuration estimates one augmented-graph node.
+func (e *Estimator) nodeDuration(p *core.Plan, n *core.AugNode) (float64, error) {
+	switch n.Kind {
+	case core.KindCall:
+		b, err := e.CallBreakdown(p, n.Call)
+		if err != nil {
+			return 0, err
+		}
+		return b.Total(), nil
+	case core.KindParamRealloc:
+		ms := p.Models[n.Role]
+		sched := realloc.PlanParams(ms.Cfg.NumLayers, ms.Cfg.LayerParamBytes(),
+			n.Src, n.Dst, e.HW.GPUsPerNode)
+		return sched.Cost(e.HW), nil
+	case core.KindDataTransfer:
+		sched := realloc.PlanData(n.Bytes, n.Src, n.Dst, e.HW.GPUsPerNode)
+		return sched.Cost(e.HW), nil
+	case core.KindOffload:
+		perGPU := n.Bytes / int64(n.Dst.Mesh.NumGPUs())
+		return e.Comm.Offload(perGPU), nil
+	}
+	return 0, fmt.Errorf("estimator: unknown node kind %v", n.Kind)
+}
+
+// ScheduledNode is one entry of the simulated timeline.
+type ScheduledNode struct {
+	Node     *core.AugNode
+	Start    float64
+	End      float64
+	Duration float64
+}
+
+// Result carries the estimate of one plan.
+type Result struct {
+	// TimeCost is TimeCost(Gp): the simulated makespan of the augmented
+	// graph (seconds).
+	TimeCost float64
+	// MaxMem is the peak bytes of the most loaded device.
+	MaxMem int64
+	// OOM reports whether MaxMem exceeds device capacity.
+	OOM bool
+	// Cost is the search objective: TimeCost, ×OOMPenalty when infeasible.
+	Cost float64
+	// Timeline is the full simulated schedule.
+	Timeline []ScheduledNode
+	// CallTimes maps call names to their (iteration-0) durations, for
+	// Tables 2–5 rendering.
+	CallTimes map[string]float64
+	// StaticBytesTotal is the summed resting memory across devices, used by
+	// the paper's static-memory-utilization heuristic (Fig. 17 right).
+	StaticBytesTotal int64
+}
+
+// StaticUtilization is total static memory over total cluster HBM.
+func (r *Result) StaticUtilization(hw hardware.Cluster) float64 {
+	return float64(r.StaticBytesTotal) / (float64(hw.GPU.MemoryBytes) * float64(hw.NumGPUs()))
+}
+
+// ModelStateUtilization is the paper's Fig. 17 heuristic metric: the
+// essential model state of the experiment (weights, gradients and optimizer
+// states, without data-parallel replication) as a fraction of total cluster
+// HBM. It falls as devices are added at a fixed problem size; below ~60% the
+// paper observes diminishing returns from further GPUs.
+func ModelStateUtilization(p *core.Plan) float64 {
+	var state int64
+	for _, ms := range p.Models {
+		if ms.Trainable {
+			state += ms.Params() * 16 // bf16 weights+grads, fp32 master+moments
+		} else {
+			state += ms.Params() * 2
+		}
+	}
+	total := float64(p.Cluster.GPU.MemoryBytes) * float64(p.Cluster.NumGPUs())
+	return float64(state) / total
+}
+
+// readyQueue orders nodes by ReadyTime (Algorithm 1's priority queue).
+type readyItem struct {
+	id    int
+	ready float64
+}
+
+type readyQueue []readyItem
+
+func (q readyQueue) Len() int           { return len(q) }
+func (q readyQueue) Less(i, j int) bool { return q[i].ready < q[j].ready }
+func (q readyQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)        { *q = append(*q, x.(readyItem)) }
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Evaluate estimates a plan: it builds the augmented graph, runs Algorithm 1
+// to obtain TimeCost(Gp), computes MaxMem(Gp), and combines them into the
+// search cost.
+func (e *Estimator) Evaluate(p *core.Plan) (*Result, error) {
+	g, err := p.BuildAugGraph()
+	if err != nil {
+		return nil, err
+	}
+	durations := make([]float64, len(g.Nodes))
+	for _, n := range g.Nodes {
+		d, err := e.nodeDuration(p, n)
+		if err != nil {
+			return nil, err
+		}
+		durations[n.ID] = d
+	}
+
+	timeline, makespan := simulate(g, durations, e.HW.NumGPUs())
+
+	maxMem, staticTotal := e.memory(p)
+	res := &Result{
+		TimeCost:         makespan,
+		MaxMem:           maxMem,
+		OOM:              maxMem > e.HW.GPU.MemoryBytes,
+		Timeline:         timeline,
+		CallTimes:        map[string]float64{},
+		StaticBytesTotal: staticTotal,
+	}
+	res.Cost = res.TimeCost
+	if res.OOM {
+		// Scale the penalty by the overflow so the chain keeps a gradient
+		// towards feasibility even deep inside the infeasible region.
+		over := float64(res.MaxMem) / float64(e.HW.GPU.MemoryBytes)
+		res.Cost *= OOMPenalty * over
+	}
+	for _, sn := range timeline {
+		if sn.Node.Kind == core.KindCall && sn.Node.Call.Iter == 0 {
+			res.CallTimes[sn.Node.Call.Name] = sn.Duration
+		}
+	}
+	return res, nil
+}
+
+// simulate is Algorithm 1: nodes become ready when all parents finish; the
+// earliest-ready node starts at max(ready, last end time of any device it
+// occupies); devices record the node's end. The makespan is the max end
+// time.
+func simulate(g *core.AugGraph, durations []float64, numGPUs int) ([]ScheduledNode, float64) {
+	indeg := make([]int, len(g.Nodes))
+	readyAt := make([]float64, len(g.Nodes))
+	endAt := make([]float64, len(g.Nodes))
+	for _, n := range g.Nodes {
+		indeg[n.ID] = len(n.Parents)
+	}
+	lastEnd := make([]float64, numGPUs)
+
+	var q readyQueue
+	for _, n := range g.Nodes {
+		if indeg[n.ID] == 0 {
+			heap.Push(&q, readyItem{id: n.ID, ready: 0})
+		}
+	}
+	timeline := make([]ScheduledNode, 0, len(g.Nodes))
+	var makespan float64
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(readyItem)
+		n := g.Nodes[it.id]
+		start := it.ready
+		for _, m := range n.Meshes {
+			for gpu := m.First; gpu < m.First+m.Count && gpu < numGPUs; gpu++ {
+				if lastEnd[gpu] > start {
+					start = lastEnd[gpu]
+				}
+			}
+		}
+		end := start + durations[it.id]
+		endAt[it.id] = end
+		for _, m := range n.Meshes {
+			for gpu := m.First; gpu < m.First+m.Count && gpu < numGPUs; gpu++ {
+				lastEnd[gpu] = end
+			}
+		}
+		timeline = append(timeline, ScheduledNode{Node: n, Start: start, End: end, Duration: durations[it.id]})
+		if end > makespan {
+			makespan = end
+		}
+		for _, c := range n.Children {
+			if readyAt[c] < end {
+				readyAt[c] = end
+			}
+			indeg[c]--
+			if indeg[c] == 0 {
+				heap.Push(&q, readyItem{id: c, ready: readyAt[c]})
+			}
+		}
+	}
+	return timeline, makespan
+}
+
+// StaticPerGPU returns each device's resting memory: the static footprint of
+// every model homed on it. Shared by the estimator's MaxMem computation and
+// the runtime engine's worker initialization.
+func StaticPerGPU(p *core.Plan) []int64 {
+	static := make([]int64, p.Cluster.NumGPUs())
+	for role, ms := range p.Models {
+		home, ok := p.HomeOf(role)
+		if !ok {
+			continue
+		}
+		b := memory.Static(ms.Params(), home.Strategy, memory.StaticOpts{
+			Trainable:            ms.Trainable,
+			ShardOptimizerOverDP: true,
+			OffloadParams:        ms.OffloadWhenIdle && !ms.Trainable,
+		})
+		for gpu := home.Mesh.First; gpu < home.Mesh.First+home.Mesh.Count; gpu++ {
+			static[gpu] += b
+		}
+	}
+	return static
+}
+
+// CallActiveBytes returns the transient per-GPU bytes of one call,
+// discounting weights already resident in the role's static home allocation.
+func CallActiveBytes(p *core.Plan, node *dfg.Node) int64 {
+	spec, err := CallSpecOf(p, node)
+	if err != nil {
+		return 0
+	}
+	act := memory.Active(spec)
+	a := p.Assign[node.Name]
+	home, _ := p.HomeOf(node.Role)
+	if a.Equal(home) {
+		ms := p.Models[node.Role]
+		if !(ms.OffloadWhenIdle && !ms.Trainable) {
+			shard := memory.ParamShardBytes(ms.Params(), a.Strategy)
+			if a.Strategy.ZeRO3 {
+				shard = ms.Params() / int64(a.Strategy.DP) * 2
+			}
+			act -= shard
+			if act < 0 {
+				act = 0
+			}
+		}
+	}
+	return act
+}
+
+// memory computes MaxMem(Gp): per device, the resting (static) memory of
+// every model homed there plus the largest active footprint among the calls
+// scheduled on it.
+func (e *Estimator) memory(p *core.Plan) (maxMem, staticTotal int64) {
+	n := p.Cluster.NumGPUs()
+	static := StaticPerGPU(p)
+	peakActive := make([]int64, n)
+	for _, b := range static {
+		staticTotal += b
+	}
+
+	seen := map[string]bool{}
+	for _, node := range p.Graph.Nodes {
+		if seen[node.Name] {
+			continue
+		}
+		seen[node.Name] = true
+		act := CallActiveBytes(p, node)
+		a := p.Assign[node.Name]
+		for gpu := a.Mesh.First; gpu < a.Mesh.First+a.Mesh.Count; gpu++ {
+			if act > peakActive[gpu] {
+				peakActive[gpu] = act
+			}
+		}
+	}
+
+	for gpu := 0; gpu < n; gpu++ {
+		if m := static[gpu] + peakActive[gpu]; m > maxMem {
+			maxMem = m
+		}
+	}
+	return maxMem, staticTotal
+}
+
+// Throughput converts a plan's iteration FLOPs and estimated time into the
+// paper's PFLOP/s metric.
+func Throughput(p *core.Plan, timeCost float64) float64 {
+	if timeCost <= 0 {
+		return 0
+	}
+	var flops float64
+	iters := 0
+	for _, n := range p.Graph.Nodes {
+		if n.Iter+1 > iters {
+			iters = n.Iter + 1
+		}
+		spec, err := CallSpecOf(p, n)
+		if err != nil {
+			continue
+		}
+		flops += gpumodel.CallFLOPs(spec)
+	}
+	if iters > 0 {
+		// Report per-iteration throughput (time already spans all iters).
+		_ = iters
+	}
+	return flops / timeCost / 1e15
+}
+
+// GPUSeconds sums busy GPU time over the timeline — the denominator of
+// utilization breakdowns.
+func GPUSeconds(timeline []ScheduledNode) float64 {
+	var s float64
+	for _, sn := range timeline {
+		gpus := 0
+		for _, m := range sn.Node.Meshes {
+			gpus += m.NumGPUs()
+		}
+		s += sn.Duration * float64(gpus)
+	}
+	return s
+}
+
+// Makespan returns the end of the last node, guarding empty timelines.
+func Makespan(timeline []ScheduledNode) float64 {
+	var m float64
+	for _, sn := range timeline {
+		m = math.Max(m, sn.End)
+	}
+	return m
+}

@@ -1,0 +1,289 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"realhf/internal/core"
+	"realhf/internal/dfg"
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/mesh"
+	"realhf/internal/model"
+	"realhf/internal/parallel"
+)
+
+// oracleCosters builds ground-truth costers for every role of a plan.
+func oracleCosters(hw hardware.Cluster, models map[dfg.Role]core.ModelSpec) map[dfg.Role]gpumodel.ModelCoster {
+	out := map[dfg.Role]gpumodel.ModelCoster{}
+	for role, ms := range models {
+		out[role] = gpumodel.NewOracle(hw, ms.Cfg)
+	}
+	return out
+}
+
+func symmetricPlan(t *testing.T, nodes int, actor, critic model.Config) *core.Plan {
+	t.Helper()
+	cluster := hardware.DefaultCluster(nodes)
+	g := dfg.BuildPPO(dfg.Spec{Batch: 512, PromptLen: 1024, GenLen: 1024, Iterations: 1})
+	p := core.NewPlan(cluster, g, core.PPOModels(actor, critic))
+	full := mesh.Full(cluster)
+	st := parallel.Strategy{DP: cluster.NumGPUs() / 8, TP: 8, PP: 1, MicroBatches: 4}
+	for _, name := range p.CallNames() {
+		p.Assign[name] = core.Assignment{Mesh: full, Strategy: st}
+	}
+	return p
+}
+
+func newEstimator(p *core.Plan) *Estimator {
+	return New(p.Cluster, oracleCosters(p.Cluster, p.Models))
+}
+
+func TestEvaluateSymmetricPlan(t *testing.T) {
+	p := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B)
+	e := newEstimator(p)
+	res, err := e.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeCost <= 0 {
+		t.Fatal("TimeCost must be positive")
+	}
+	if len(res.CallTimes) != 6 {
+		t.Errorf("CallTimes has %d entries, want 6", len(res.CallTimes))
+	}
+	// Everything shares the full mesh: the makespan is the sum of all node
+	// durations.
+	var sum float64
+	for _, sn := range res.Timeline {
+		sum += sn.Duration
+	}
+	if math.Abs(sum-res.TimeCost) > 1e-9*sum {
+		t.Errorf("symmetric plan should serialize: sum %.3f vs makespan %.3f", sum, res.TimeCost)
+	}
+}
+
+func TestConcurrentDisjointMeshes(t *testing.T) {
+	// Assign critic-side calls to node 1, actor-side to node 0: independent
+	// calls should overlap and beat the symmetric makespan structure.
+	cluster := hardware.DefaultCluster(2)
+	g := dfg.BuildPPO(dfg.Spec{Batch: 256, PromptLen: 512, GenLen: 512, Iterations: 1})
+	p := core.NewPlan(cluster, g, core.PPOModels(model.LLaMA7B, model.LLaMA7B))
+	m0, _ := mesh.New(0, 8, 8)
+	m1, _ := mesh.New(8, 8, 8)
+	st := parallel.Strategy{DP: 1, TP: 8, PP: 1, MicroBatches: 2}
+	for name, m := range map[string]mesh.Mesh{
+		"ActorGen": m0, "RefInf": m0, "ActorTrain": m0,
+		"RewInf": m1, "CriticInf": m1, "CriticTrain": m1,
+	} {
+		p.Assign[name] = core.Assignment{Mesh: m, Strategy: st}
+	}
+	e := newEstimator(p)
+	res, err := e.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, sn := range res.Timeline {
+		sum += sn.Duration
+	}
+	if res.TimeCost >= sum {
+		t.Errorf("disjoint meshes should overlap: makespan %.3f !< serial %.3f", res.TimeCost, sum)
+	}
+	// RewInf and RefInf are independent and on disjoint meshes: they must
+	// actually overlap in the timeline.
+	var rew, ref ScheduledNode
+	for _, sn := range res.Timeline {
+		if sn.Node.Kind != core.KindCall {
+			continue
+		}
+		switch sn.Node.Call.Name {
+		case "RewInf":
+			rew = sn
+		case "RefInf":
+			ref = sn
+		}
+	}
+	if rew.End <= ref.Start || ref.End <= rew.Start {
+		t.Error("independent inferences on disjoint meshes did not overlap")
+	}
+}
+
+func TestTimelineRespectsDependencies(t *testing.T) {
+	p := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B)
+	e := newEstimator(p)
+	res, err := e.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endOf := map[int]float64{}
+	for _, sn := range res.Timeline {
+		endOf[sn.Node.ID] = sn.End
+	}
+	for _, sn := range res.Timeline {
+		for _, pid := range sn.Node.Parents {
+			if sn.Start < endOf[pid]-1e-12 {
+				t.Fatalf("node %q starts at %.3f before parent ends at %.3f",
+					sn.Node.Label, sn.Start, endOf[pid])
+			}
+		}
+	}
+}
+
+func TestMeshExclusionInvariant(t *testing.T) {
+	// Property over the timeline: nodes occupying overlapping meshes never
+	// run concurrently (Algorithm 1's core constraint).
+	cluster := hardware.DefaultCluster(2)
+	g := dfg.BuildPPO(dfg.Spec{Batch: 256, PromptLen: 512, GenLen: 512, Iterations: 2})
+	p := core.NewPlan(cluster, g, core.PPOModels(model.LLaMA7B, model.LLaMA7B))
+	m0, _ := mesh.New(0, 8, 8)
+	m1, _ := mesh.New(8, 8, 8)
+	full := mesh.Full(cluster)
+	st8 := parallel.Strategy{DP: 1, TP: 8, PP: 1, MicroBatches: 2}
+	st16 := parallel.Strategy{DP: 2, TP: 8, PP: 1, MicroBatches: 2}
+	p.Assign["ActorGen"] = core.Assignment{Mesh: full, Strategy: st16}
+	p.Assign["RefInf"] = core.Assignment{Mesh: m0, Strategy: st8}
+	p.Assign["RewInf"] = core.Assignment{Mesh: m1, Strategy: st8}
+	p.Assign["CriticInf"] = core.Assignment{Mesh: m1, Strategy: st8}
+	p.Assign["ActorTrain"] = core.Assignment{Mesh: m0, Strategy: st8}
+	p.Assign["CriticTrain"] = core.Assignment{Mesh: m1, Strategy: st8}
+	e := newEstimator(p)
+	res, err := e.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Timeline {
+		for _, b := range res.Timeline[i+1:] {
+			if !a.Node.Overlaps(b.Node) {
+				continue
+			}
+			if a.Start < b.End-1e-12 && b.Start < a.End-1e-12 && a.Duration > 0 && b.Duration > 0 {
+				t.Fatalf("nodes %q [%0.3f,%0.3f) and %q [%0.3f,%0.3f) share GPUs but overlap in time",
+					a.Node.Label, a.Start, a.End, b.Node.Label, b.Start, b.End)
+			}
+		}
+	}
+	if res.TimeCost != Makespan(res.Timeline) {
+		t.Error("TimeCost must equal timeline makespan")
+	}
+}
+
+func TestOOMPenalty(t *testing.T) {
+	// 70B with pure data parallelism cannot fit 80 GB.
+	cluster := hardware.DefaultCluster(2)
+	g := dfg.BuildPPO(dfg.Spec{Batch: 512, PromptLen: 1024, GenLen: 1024, Iterations: 1})
+	p := core.NewPlan(cluster, g, core.PPOModels(model.LLaMA70B, model.LLaMA7B))
+	full := mesh.Full(cluster)
+	st := parallel.Strategy{DP: 16, TP: 1, PP: 1, MicroBatches: 4}
+	for _, name := range p.CallNames() {
+		p.Assign[name] = core.Assignment{Mesh: full, Strategy: st}
+	}
+	e := newEstimator(p)
+	res, err := e.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OOM {
+		t.Fatalf("70B pure-DP must OOM (MaxMem=%d)", res.MaxMem)
+	}
+	over := float64(res.MaxMem) / float64(p.Cluster.GPU.MemoryBytes)
+	want := res.TimeCost * OOMPenalty * over
+	if math.Abs(res.Cost-want) > 1e-9*res.Cost {
+		t.Errorf("OOM cost %.3f, want TimeCost×α×overflow = %.3f", res.Cost, want)
+	}
+	if res.Cost < res.TimeCost*OOMPenalty {
+		t.Error("OOM cost must be at least TimeCost×α")
+	}
+}
+
+func TestFeasiblePlanNoPenalty(t *testing.T) {
+	p := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B)
+	e := newEstimator(p)
+	res, err := e.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Fatalf("7B symmetric plan should fit (MaxMem=%.1f GB)", float64(res.MaxMem)/(1<<30))
+	}
+	if res.Cost != res.TimeCost {
+		t.Error("feasible plan cost must equal its time")
+	}
+}
+
+func TestReallocNodesAppearAndCost(t *testing.T) {
+	p := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B)
+	genMesh, _ := mesh.New(0, 8, 8)
+	p.Assign["ActorGen"] = core.Assignment{
+		Mesh:     genMesh,
+		Strategy: parallel.Strategy{DP: 4, TP: 2, PP: 1, MicroBatches: 1},
+	}
+	e := newEstimator(p)
+	res, err := e.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRealloc := false
+	for _, sn := range res.Timeline {
+		if sn.Node.Kind == core.KindParamRealloc {
+			foundRealloc = true
+			if sn.Duration <= 0 {
+				t.Error("cross-layout realloc should take time")
+			}
+			if sn.Duration > 1 {
+				t.Errorf("7B realloc took %.3fs; should be sub-second", sn.Duration)
+			}
+		}
+	}
+	if !foundRealloc {
+		t.Error("expected a parameter reallocation node in the timeline")
+	}
+}
+
+func TestThroughputMetric(t *testing.T) {
+	p := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B)
+	e := newEstimator(p)
+	res, _ := e.Evaluate(p)
+	tp := Throughput(p, res.TimeCost)
+	if tp <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	// Sanity: cannot exceed the cluster's peak compute.
+	peak := p.Cluster.GPU.PeakFLOPs * float64(p.Cluster.NumGPUs()) / 1e15
+	if tp >= peak {
+		t.Errorf("throughput %.2f PFLOP/s exceeds hardware peak %.2f", tp, peak)
+	}
+	if Throughput(p, 0) != 0 {
+		t.Error("zero time must yield zero throughput")
+	}
+}
+
+func TestStaticUtilization(t *testing.T) {
+	p := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B)
+	e := newEstimator(p)
+	res, _ := e.Evaluate(p)
+	u := res.StaticUtilization(p.Cluster)
+	if u <= 0 || u >= 1 {
+		t.Errorf("static utilization = %.3f, want in (0,1)", u)
+	}
+}
+
+func TestGPUSeconds(t *testing.T) {
+	p := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B)
+	e := newEstimator(p)
+	res, _ := e.Evaluate(p)
+	busy := GPUSeconds(res.Timeline)
+	wall := res.TimeCost * float64(p.Cluster.NumGPUs())
+	if busy <= 0 || busy > wall+1e-9 {
+		t.Errorf("GPU-seconds %.1f outside (0, wall %.1f]", busy, wall)
+	}
+}
+
+func TestEvaluateUnassignedPlanFails(t *testing.T) {
+	p := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B)
+	delete(p.Assign, "ActorGen")
+	e := newEstimator(p)
+	if _, err := e.Evaluate(p); err == nil {
+		t.Error("unassigned plan must fail evaluation")
+	}
+}

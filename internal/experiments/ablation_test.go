@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"realhf/internal/model"
+)
+
+func TestAblationNoRealloc(t *testing.T) {
+	rows, out, err := AblationNoRealloc(2, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.FullPFLOPs <= 0 || r.ConstraintPFLOPs <= 0 {
+			t.Errorf("%s: non-positive throughput", r.Setting)
+		}
+		// The full planner may never lose to its own restricted space.
+		if r.Advantage < -0.02 {
+			t.Errorf("%s: realloc-free plan beat the full search by %.0f%%",
+				r.Setting, -100*r.Advantage)
+		}
+	}
+	if !strings.Contains(out, "Ablation") {
+		t.Error("missing report header")
+	}
+}
+
+func TestAblationCrossIter(t *testing.T) {
+	// A critic larger than the actor makes the critic-side tail spill past
+	// the iteration boundary — the slack cross-iteration overlap exploits.
+	s := PaperSetting(2, model.LLaMA7B, model.LLaMA13B)
+	single, double, out, err := AblationCrossIter(s, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if double >= 2*single {
+		t.Errorf("2 iterations (%.1fs) should beat 2×1 iteration (%.1fs): no overlap found",
+			double, 2*single)
+	}
+	if double <= single {
+		t.Errorf("2 iterations (%.1fs) cannot be faster than 1 (%.1fs)", double, single)
+	}
+	if !strings.Contains(out, "overlap") {
+		t.Error("missing report body")
+	}
+}
+
+func TestRoleCandidatesNonEmpty(t *testing.T) {
+	pr, err := NewProblem(PaperSetting(1, model.LLaMA7B, model.LLaMA7B))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, role := range []string{"actor", "critic", "ref", "reward"} {
+		if got := len(RoleCandidates(pr, role)); got == 0 {
+			t.Errorf("role %q has no shared candidates", role)
+		}
+	}
+}
+
+func TestEnumerateAssignmentsLegal(t *testing.T) {
+	pr, err := NewProblem(PaperSetting(2, model.LLaMA7B, model.LLaMA7B))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := EnumerateAssignments(pr.Cluster)
+	if len(all) == 0 {
+		t.Fatal("no assignments enumerated")
+	}
+	for _, a := range all {
+		if err := a.Mesh.Validate(); err != nil {
+			t.Fatalf("illegal mesh in enumeration: %v", err)
+		}
+		if a.Strategy.WorldSize() != a.Mesh.NumGPUs() {
+			t.Fatalf("strategy %v does not fill mesh %v", a.Strategy, a.Mesh)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package hardware
+
+import "testing"
+
+func TestDefaultClusterShape(t *testing.T) {
+	c := DefaultCluster(16)
+	if got := c.NumGPUs(); got != 128 {
+		t.Errorf("NumGPUs = %d, want 128", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default cluster invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	cases := []Cluster{
+		{Nodes: 0, GPUsPerNode: 8, GPU: DefaultH100(), Net: DefaultInterconnect()},
+		{Nodes: 2, GPUsPerNode: 0, GPU: DefaultH100(), Net: DefaultInterconnect()},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate() = nil, want error", i)
+		}
+	}
+	bad := DefaultCluster(2)
+	bad.GPU.PeakFLOPs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero peak FLOPs should fail validation")
+	}
+	bad2 := DefaultCluster(2)
+	bad2.Net.InterNodeBandwidth = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero fabric bandwidth should fail validation")
+	}
+}
+
+func TestBandwidthHierarchy(t *testing.T) {
+	c := DefaultCluster(4)
+	if c.Bandwidth(false) <= c.Bandwidth(true) {
+		t.Error("intra-node bandwidth should exceed inter-node bandwidth")
+	}
+	if c.Latency(false) >= c.Latency(true) {
+		t.Error("intra-node latency should be below inter-node latency")
+	}
+}
+
+func TestCUDAGraphReducesLaunchCost(t *testing.T) {
+	g := DefaultH100()
+	if g.CUDAGraphLaunchFactor >= 1 || g.CUDAGraphLaunchFactor <= 0 {
+		t.Errorf("CUDAGraphLaunchFactor = %v, want in (0,1)", g.CUDAGraphLaunchFactor)
+	}
+}
+
+func TestH100Memory(t *testing.T) {
+	if got := DefaultH100().MemoryBytes; got != 80<<30 {
+		t.Errorf("H100 memory = %d, want 80 GiB", got)
+	}
+}

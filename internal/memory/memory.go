@@ -1,0 +1,158 @@
+// Package memory implements the paper's §5.1 memory model. Runtime memory
+// divides into static memory — gradients and optimizer states that persist
+// at a trained model's home location for the whole experiment — and active
+// memory that exists only while a function call runs: reallocable parameter
+// copies, activations, KV cache, and logits. An execution plan is feasible
+// only if every device's peak stays under the HBM capacity.
+package memory
+
+import (
+	"realhf/internal/dfg"
+	"realhf/internal/gpumodel"
+	"realhf/internal/parallel"
+)
+
+const (
+	bytesBF16 = 2
+	// optimizerBytesPerParam covers the fp32 master copy and the two Adam
+	// moments (4+4+4 bytes).
+	optimizerBytesPerParam = 12
+	// actBytesPerTokenPerLayerFactor × hidden is the activation footprint of
+	// one token in one layer with selective recomputation enabled.
+	actBytesPerTokenPerLayerFactor = 18
+	// inferenceLiveLayers is how many layers' activations are live at once
+	// during a no-grad forward pass (buffers are recycled layer to layer).
+	inferenceLiveLayers = 2
+)
+
+// StaticOpts selects what persistent state a model keeps.
+type StaticOpts struct {
+	// Trainable models keep gradients and optimizer states.
+	Trainable bool
+	// ShardOptimizerOverDP enables the Megatron-style distributed optimizer,
+	// splitting optimizer states across data-parallel peers.
+	ShardOptimizerOverDP bool
+	// OffloadParams parks the bf16 weights in host memory between calls
+	// (only meaningful for frozen models).
+	OffloadParams bool
+}
+
+// Static returns the persistent per-GPU bytes of a model with the given
+// total parameter count held under strategy s.
+func Static(params int64, s parallel.Strategy, o StaticOpts) int64 {
+	if s.ZeRO3 {
+		// Fully sharded: weights, gradients and optimizer states all split
+		// across the DP group.
+		shard := params / int64(s.DP)
+		var b int64
+		if !o.OffloadParams {
+			b += shard * bytesBF16
+		}
+		if o.Trainable {
+			b += shard * (bytesBF16 + optimizerBytesPerParam)
+		}
+		return b
+	}
+	shard := params / int64(s.TP*s.PP)
+	var b int64
+	if !o.OffloadParams {
+		b += shard * bytesBF16 // resting weights
+	}
+	if o.Trainable {
+		b += shard * bytesBF16 // gradients
+		opt := shard * optimizerBytesPerParam
+		if o.ShardOptimizerOverDP {
+			opt /= int64(s.DP)
+		}
+		b += opt
+	}
+	return b
+}
+
+// paramsOf resolves the trainable/parked parameter count of a call's model.
+func paramsOf(spec gpumodel.CallSpec) int64 {
+	if spec.IsCritic {
+		return spec.Cfg.CriticParams()
+	}
+	return spec.Cfg.Params()
+}
+
+// ParamShardBytes is the per-GPU bf16 weight footprint of a model sharded by
+// strategy s — the amount parameter reallocation materializes on each
+// destination GPU.
+func ParamShardBytes(params int64, s parallel.Strategy) int64 {
+	return params / int64(s.TP*s.PP) * bytesBF16
+}
+
+// Active returns the peak per-GPU bytes a function call allocates while it
+// runs, including the reallocable parameter copy it computes with.
+func Active(spec gpumodel.CallSpec) int64 {
+	s := spec.Strategy
+	w := spec.Work
+	cfg := spec.Cfg
+	params := ParamShardBytes(paramsOf(spec), s)
+	if s.ZeRO3 {
+		// Resident shard plus the gathered working set of two live layers.
+		params = paramsOf(spec)/int64(s.DP)*bytesBF16 + 2*cfg.LayerParamBytes()
+	}
+
+	perDP := (w.Batch + s.DP - 1) / s.DP
+	if perDP < 1 {
+		perDP = 1
+	}
+	mbs := s.MicroBatches
+	if mbs > perDP {
+		mbs = perDP
+	}
+	if mbs < 1 {
+		mbs = 1
+	}
+	if spec.Type == dfg.Train && w.MiniBatches > 1 {
+		perDP = (perDP + w.MiniBatches - 1) / w.MiniBatches
+		if perDP < 1 {
+			perDP = 1
+		}
+		if mbs > perDP {
+			mbs = perDP
+		}
+	}
+	perMicro := int64((perDP + mbs - 1) / mbs)
+	lps := int64(s.LayersPerStage(cfg))
+	h := int64(cfg.HiddenSize)
+	tokensMicro := perMicro * int64(w.SeqLen())
+
+	var act, logits, kv int64
+	switch spec.Type {
+	case dfg.Train:
+		// 1F1B keeps up to min(pp, mbs) micro-batches of activations alive
+		// on the deepest stage.
+		inFlight := int64(s.PP)
+		if int64(mbs) < inFlight {
+			inFlight = int64(mbs)
+		}
+		act = tokensMicro * actBytesPerTokenPerLayerFactor * h / int64(s.TP) * lps * inFlight
+		if !spec.IsCritic {
+			// bf16 logits plus fp32 softmax workspace on the last stage.
+			logits = tokensMicro * int64(cfg.VocabSize) * (bytesBF16 + 4) / int64(s.TP)
+		}
+	case dfg.Inference:
+		act = tokensMicro * actBytesPerTokenPerLayerFactor * h / int64(s.TP) * inferenceLiveLayers
+		if !spec.IsCritic {
+			logits = tokensMicro * int64(cfg.VocabSize) * bytesBF16 / int64(s.TP)
+		}
+	case dfg.Generate:
+		// Generation engines wave-schedule micro-batches (continuous
+		// batching): only min(pp, mbs) micro-batches hold KV entries at
+		// once; completed waves free their cache.
+		inFlight := int64(s.PP)
+		if int64(mbs) < inFlight {
+			inFlight = int64(mbs)
+		}
+		kv = perMicro * inFlight * int64(w.SeqLen()) * cfg.KVBytesPerTokenPerLayer() * lps / int64(s.TP)
+		act = perMicro * actBytesPerTokenPerLayerFactor * h / int64(s.TP) * inferenceLiveLayers
+		if !spec.IsCritic {
+			logits = perMicro * int64(cfg.VocabSize) * bytesBF16 / int64(s.TP)
+		}
+	}
+	return params + act + logits + kv
+}

@@ -1,0 +1,138 @@
+package memory
+
+import (
+	"testing"
+
+	"realhf/internal/dfg"
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/mesh"
+	"realhf/internal/model"
+	"realhf/internal/parallel"
+)
+
+func TestStaticShardsOverTPandPP(t *testing.T) {
+	p := model.LLaMA70B.Params()
+	s1 := parallel.Strategy{DP: 1, TP: 1, PP: 1, MicroBatches: 1}
+	s8 := parallel.Strategy{DP: 1, TP: 2, PP: 4, MicroBatches: 1}
+	b1 := Static(p, s1, StaticOpts{Trainable: true})
+	b8 := Static(p, s8, StaticOpts{Trainable: true})
+	if b8 >= b1 || b1/b8 < 7 || b1/b8 > 9 {
+		t.Errorf("tp*pp=8 should shard static memory ~8×: %d vs %d", b1, b8)
+	}
+}
+
+func TestDistributedOptimizerShardsOverDP(t *testing.T) {
+	p := model.LLaMA70B.Params()
+	s := parallel.Strategy{DP: 4, TP: 2, PP: 4, MicroBatches: 1}
+	dense := Static(p, s, StaticOpts{Trainable: true})
+	sharded := Static(p, s, StaticOpts{Trainable: true, ShardOptimizerOverDP: true})
+	if sharded >= dense {
+		t.Error("distributed optimizer must reduce per-GPU static memory")
+	}
+	// The reduction applies only to the 12B/param optimizer slice.
+	shard := p / 8
+	wantDiff := shard*12 - shard*12/4
+	if dense-sharded != wantDiff {
+		t.Errorf("optimizer sharding saved %d bytes, want %d", dense-sharded, wantDiff)
+	}
+}
+
+func TestFrozenModelsKeepOnlyWeights(t *testing.T) {
+	p := model.LLaMA7B.Params()
+	s := parallel.Strategy{DP: 2, TP: 2, PP: 2, MicroBatches: 1}
+	frozen := Static(p, s, StaticOpts{})
+	if want := p / 4 * 2; frozen != want {
+		t.Errorf("frozen static = %d, want weights only %d", frozen, want)
+	}
+	if off := Static(p, s, StaticOpts{OffloadParams: true}); off != 0 {
+		t.Errorf("offloaded frozen model should hold 0 device bytes, got %d", off)
+	}
+}
+
+func spec(typ dfg.CallType, cfg model.Config, st parallel.Strategy, nodes int) gpumodel.CallSpec {
+	return gpumodel.CallSpec{
+		Cfg: cfg, Type: typ,
+		Work:     dfg.Workload{Batch: 512, PromptLen: 1024, GenLen: 1024, MiniBatches: 8},
+		Strategy: st, Mesh: mesh.Full(hardware.DefaultCluster(nodes)),
+	}
+}
+
+func TestActiveGenerationIncludesKVCache(t *testing.T) {
+	st := parallel.Strategy{DP: 16, TP: 2, PP: 4, MicroBatches: 4}
+	cfg := model.LLaMA70B
+	gen := Active(spec(dfg.Generate, cfg, st, 16))
+	params := ParamShardBytes(cfg.Params(), st)
+	// 512/16 = 32 sequences per DP rank, full 2048-token KV entries over
+	// 80/4 = 20 local layers, TP-sharded by 2.
+	kv := int64(32) * 2048 * cfg.KVBytesPerTokenPerLayer() * 20 / 2
+	if gen < params+kv {
+		t.Errorf("generation active %d must include params %d + KV %d", gen, params, kv)
+	}
+}
+
+func TestActiveTrainLogitsDominate(t *testing.T) {
+	// The paper's footnote: 128k-vocab softmax is enormous. Critic calls
+	// (scalar head) must be much lighter than actor calls.
+	st := parallel.Strategy{DP: 4, TP: 8, PP: 4, MicroBatches: 8}
+	actor := spec(dfg.Train, model.LLaMA70B, st, 16)
+	critic := actor
+	critic.IsCritic = true
+	a, c := Active(actor), Active(critic)
+	if a <= c {
+		t.Errorf("actor train active (%d) should exceed critic's (%d)", a, c)
+	}
+}
+
+func TestActiveFitsRealisticPlan(t *testing.T) {
+	// The searched 70B plan of paper Table 2 must fit in 80 GB together
+	// with its training static memory.
+	hw := hardware.DefaultCluster(16)
+	trainSt := parallel.Strategy{DP: 4, TP: 2, PP: 16, MicroBatches: 2}
+	static := Static(model.LLaMA70B.Params(), trainSt,
+		StaticOpts{Trainable: true, ShardOptimizerOverDP: true})
+	train := spec(dfg.Train, model.LLaMA70B, trainSt, 16)
+	act := Active(train)
+	if static+act >= hw.GPU.MemoryBytes {
+		t.Errorf("Table 2 style plan OOMs: static %d + active %d >= %d",
+			static, act, hw.GPU.MemoryBytes)
+	}
+}
+
+func TestNaiveDataParallelOOMs(t *testing.T) {
+	// 70B with pure DP cannot fit: this is what forces the planner towards
+	// model parallelism, as on real hardware.
+	hw := hardware.DefaultCluster(16)
+	st := parallel.Strategy{DP: 128, TP: 1, PP: 1, MicroBatches: 1}
+	static := Static(model.LLaMA70B.Params(), st, StaticOpts{Trainable: true, ShardOptimizerOverDP: true})
+	if static < hw.GPU.MemoryBytes {
+		t.Errorf("70B pure-DP static %d unexpectedly fits in %d", static, hw.GPU.MemoryBytes)
+	}
+}
+
+func TestActiveScalesWithContext(t *testing.T) {
+	st := parallel.Strategy{DP: 16, TP: 2, PP: 4, MicroBatches: 4}
+	short := spec(dfg.Generate, model.LLaMA34B, st, 16)
+	long := short
+	long.Work.PromptLen, long.Work.GenLen = 1024, 7168 // ctx 8192
+	if Active(long) <= Active(short) {
+		t.Error("longer context must increase KV footprint")
+	}
+}
+
+func TestMicroBatchesReduceActivationPeak(t *testing.T) {
+	one := spec(dfg.Train, model.LLaMA70B, parallel.Strategy{DP: 4, TP: 8, PP: 4, MicroBatches: 1}, 16)
+	many := spec(dfg.Train, model.LLaMA70B, parallel.Strategy{DP: 4, TP: 8, PP: 4, MicroBatches: 8}, 16)
+	if Active(many) >= Active(one) {
+		t.Errorf("more micro-batches should lower activation peak: %d vs %d",
+			Active(many), Active(one))
+	}
+}
+
+func TestParamShardBytes(t *testing.T) {
+	p := model.LLaMA7B.Params()
+	s := parallel.Strategy{DP: 3, TP: 2, PP: 2, MicroBatches: 1}
+	if got, want := ParamShardBytes(p, s), p/4*2; got != want {
+		t.Errorf("ParamShardBytes = %d, want %d (dp must not shard params)", got, want)
+	}
+}

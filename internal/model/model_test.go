@@ -1,0 +1,156 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1ExactParamCounts reproduces the TotalParamCount and
+// "ParamCount w./o. Output Embedding" columns of paper Table 1 exactly.
+func TestTable1ExactParamCounts(t *testing.T) {
+	cases := []struct {
+		cfg          Config
+		total        int64
+		noOutputEmbd int64
+	}{
+		{LLaMA7B, 8030261248, 7504924672},
+		{LLaMA13B, 14001525760, 13344855040},
+		{LLaMA34B, 35321028608, 34270355456},
+		{LLaMA70B, 70553706496, 69503033344},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.Params(); got != tc.total {
+			t.Errorf("%s: Params() = %d, want %d (Table 1)", tc.cfg.Name, got, tc.total)
+		}
+		if got := tc.cfg.ParamsNoOutputEmbedding(); got != tc.noOutputEmbd {
+			t.Errorf("%s: ParamsNoOutputEmbedding() = %d, want %d (Table 1)", tc.cfg.Name, got, tc.noOutputEmbd)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"7b", "13b", "34b", "70b"} {
+		cfg, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if cfg.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, cfg.Name)
+		}
+	}
+	if _, err := ByName("175b"); err == nil {
+		t.Error("ByName(175b) should fail")
+	}
+}
+
+func TestAllOrderedBySize(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("All() returned %d configs, want 4", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Params() <= all[i-1].Params() {
+			t.Errorf("All() not ascending: %s (%d) after %s (%d)",
+				all[i].Name, all[i].Params(), all[i-1].Name, all[i-1].Params())
+		}
+	}
+}
+
+func TestHeadAndKVDims(t *testing.T) {
+	if d := LLaMA7B.HeadDim(); d != 128 {
+		t.Errorf("7B head dim = %d, want 128", d)
+	}
+	if kv := LLaMA7B.KVHiddenSize(); kv != 1024 {
+		t.Errorf("7B kv hidden = %d, want 1024 (GQA 8 heads)", kv)
+	}
+	// 13B uses full multi-head attention (NumKVHeads == NumAttentionHeads).
+	if kv := LLaMA13B.KVHiddenSize(); kv != LLaMA13B.HiddenSize {
+		t.Errorf("13B kv hidden = %d, want %d (MHA)", kv, LLaMA13B.HiddenSize)
+	}
+}
+
+func TestCriticParams(t *testing.T) {
+	for _, cfg := range All() {
+		got := cfg.CriticParams()
+		want := cfg.ParamsNoOutputEmbedding() + int64(cfg.HiddenSize)
+		if got != want {
+			t.Errorf("%s: CriticParams() = %d, want %d", cfg.Name, got, want)
+		}
+		if got >= cfg.Params() {
+			t.Errorf("%s: critic should be smaller than the actor", cfg.Name)
+		}
+	}
+}
+
+func TestFLOPsScaleLinearlyInTokens(t *testing.T) {
+	cfg := LLaMA7B
+	f1 := cfg.LayerFwdFLOPs(1024, 512)
+	f2 := cfg.LayerFwdFLOPs(2048, 512)
+	if math.Abs(f2-2*f1) > 1e-6*f2 {
+		t.Errorf("layer FLOPs not linear in tokens: f(2T)=%g, 2·f(T)=%g", f2, 2*f1)
+	}
+}
+
+func TestTrainFLOPsIsTripleForward(t *testing.T) {
+	cfg := LLaMA34B
+	fwd := cfg.FwdFLOPs(4096, 1024, true)
+	train := cfg.TrainFLOPs(4096, 1024, true)
+	if math.Abs(train-3*fwd) > 1e-9*train {
+		t.Errorf("TrainFLOPs = %g, want 3×FwdFLOPs = %g", train, 3*fwd)
+	}
+}
+
+// TestFwdFLOPsApproximates6ND sanity-checks the analytic layer FLOPs against
+// the standard 2·N·T estimate for a forward pass (N = non-embedding params):
+// for short spans the two should agree within ~15%.
+func TestFwdFLOPsApproximates6ND(t *testing.T) {
+	for _, cfg := range All() {
+		tokens := int64(8192)
+		got := cfg.FwdFLOPs(tokens, 128, true)
+		approx := 2 * float64(cfg.ParamsNoOutputEmbedding()+cfg.EmbedParams()) * float64(tokens)
+		ratio := got / approx
+		if ratio < 0.85 || ratio > 1.2 {
+			t.Errorf("%s: FwdFLOPs/2NT = %.3f, want within [0.85, 1.2]", cfg.Name, ratio)
+		}
+	}
+}
+
+// Property: parameter counts are positive, monotone in layer count, and the
+// total decomposes exactly into embeddings + layers + final norm.
+func TestParamDecompositionProperty(t *testing.T) {
+	f := func(layers8 uint8) bool {
+		layers := int(layers8%96) + 1
+		cfg := LLaMA7B
+		cfg.NumLayers = layers
+		want := 2*cfg.EmbedParams() + int64(layers)*cfg.LayerParams() + int64(cfg.HiddenSize)
+		return cfg.Params() == want && cfg.Params() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KV bytes per token are positive and scale with KV heads.
+func TestKVBytesProperty(t *testing.T) {
+	f := func(kvHeads8 uint8) bool {
+		kv := int(kvHeads8%32) + 1
+		cfg := LLaMA7B
+		cfg.NumKVHeads = kv
+		return cfg.KVBytesPerTokenPerLayer() == int64(2*kv*cfg.HeadDim()*BytesPerParam)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerFwdFLOPsSpanTerm(t *testing.T) {
+	cfg := LLaMA7B
+	base := cfg.LayerFwdFLOPs(1000, 0)
+	withSpan := cfg.LayerFwdFLOPs(1000, 2048)
+	attn := withSpan - base
+	want := 4 * 1000.0 * 2048 * float64(cfg.HiddenSize)
+	if math.Abs(attn-want) > 1e-6*want {
+		t.Errorf("attention span FLOPs = %g, want %g", attn, want)
+	}
+}

@@ -1,0 +1,187 @@
+package parallel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"realhf/internal/mesh"
+	"realhf/internal/model"
+)
+
+func mustMesh(t *testing.T, first, count, m int) mesh.Mesh {
+	t.Helper()
+	ms, err := mesh.New(first, count, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestValidateFillsMesh(t *testing.T) {
+	m := mustMesh(t, 0, 16, 8)
+	ok := Strategy{DP: 2, TP: 2, PP: 4, MicroBatches: 1}
+	if err := ok.Validate(m, model.LLaMA7B, 512); err != nil {
+		t.Errorf("valid strategy rejected: %v", err)
+	}
+	underfill := Strategy{DP: 2, TP: 2, PP: 2, MicroBatches: 1}
+	if err := underfill.Validate(m, model.LLaMA7B, 512); err == nil {
+		t.Error("strategy with 8 ranks on 16-GPU mesh should be rejected")
+	}
+}
+
+func TestValidateStructuralCaps(t *testing.T) {
+	m := mustMesh(t, 0, 64, 8)
+	tooDeep := Strategy{DP: 1, TP: 1, PP: 64, MicroBatches: 1}
+	if err := tooDeep.Validate(m, model.LLaMA7B, 512); err == nil {
+		t.Error("pp=64 > 32 layers should be rejected")
+	}
+	deepOK := Strategy{DP: 1, TP: 1, PP: 64, MicroBatches: 1}
+	if err := deepOK.Validate(m, model.LLaMA70B, 512); err != nil {
+		t.Errorf("pp=64 on 80 layers should be accepted: %v", err)
+	}
+}
+
+func TestValidateBatchConstraints(t *testing.T) {
+	m := mustMesh(t, 0, 8, 8)
+	s := Strategy{DP: 8, TP: 1, PP: 1, MicroBatches: 1}
+	// Uneven sharding is tolerated (ZeRO-style baselines rely on it)...
+	if err := s.Validate(m, model.LLaMA7B, 100); err != nil {
+		t.Errorf("batch 100 with dp=8 should be tolerated: %v", err)
+	}
+	if err := s.Validate(m, model.LLaMA7B, 128); err != nil {
+		t.Errorf("batch 128 with dp=8 should be accepted: %v", err)
+	}
+	// ...but micro-batches beyond the per-rank share are not.
+	tiny := Strategy{DP: 4, TP: 2, PP: 1, MicroBatches: 8}
+	if err := tiny.Validate(m, model.LLaMA7B, 16); err == nil {
+		t.Error("4 sequences per dp rank cannot form 8 micro-batches")
+	}
+}
+
+func TestValidateZeRO3(t *testing.T) {
+	m := mustMesh(t, 0, 8, 8)
+	ok := Strategy{DP: 8, TP: 1, PP: 1, MicroBatches: 1, ZeRO3: true}
+	if err := ok.Validate(m, model.LLaMA7B, 64); err != nil {
+		t.Errorf("pure-DP ZeRO-3 should validate: %v", err)
+	}
+	bad := Strategy{DP: 4, TP: 2, PP: 1, MicroBatches: 1, ZeRO3: true}
+	if err := bad.Validate(m, model.LLaMA7B, 64); err == nil {
+		t.Error("ZeRO-3 with tensor parallelism must be rejected")
+	}
+}
+
+func TestEnumerateFactorizations(t *testing.T) {
+	for _, s := range Enumerate(16, 8, 16) {
+		if s.WorldSize() != 16 {
+			t.Errorf("Enumerate(16) produced %v with world size %d", s, s.WorldSize())
+		}
+		if s.TP > 8 {
+			t.Errorf("tp cap violated: %v", s)
+		}
+	}
+	// n=8, maxTP=8, maxPP=8: tp in {1,2,4,8}; per tp, pp over divisors of 8/tp.
+	// tp=1: pp in {1,2,4,8} (4); tp=2: {1,2,4} (3); tp=4: {1,2} (2); tp=8: {1}.
+	if got := len(Enumerate(8, 8, 8)); got != 10 {
+		t.Errorf("len(Enumerate(8,8,8)) = %d, want 10", got)
+	}
+}
+
+func TestEnumerateRespectsMaxPP(t *testing.T) {
+	for _, s := range Enumerate(64, 8, 4) {
+		if s.PP > 4 {
+			t.Errorf("pp cap violated: %v", s)
+		}
+	}
+}
+
+func TestCrossNodePredicates(t *testing.T) {
+	m16 := mustMesh(t, 0, 16, 8)
+	s := Strategy{DP: 2, TP: 8, PP: 1, MicroBatches: 1}
+	if s.TPCrossesNode(m16) {
+		t.Error("tp=8 fits inside an 8-GPU node")
+	}
+	if !s.DPCrossesNode(m16) {
+		t.Error("dp=2 with tp=8 must span the two nodes")
+	}
+	sTP16 := Strategy{DP: 1, TP: 16, PP: 1, MicroBatches: 1}
+	if !sTP16.TPCrossesNode(m16) {
+		t.Error("tp=16 must cross nodes on 8-GPU hosts")
+	}
+	sub := mustMesh(t, 0, 4, 8)
+	s41 := Strategy{DP: 2, TP: 2, PP: 1, MicroBatches: 1}
+	if s41.TPCrossesNode(sub) || s41.DPCrossesNode(sub) {
+		t.Error("everything fits inside a sub-node mesh")
+	}
+}
+
+func TestPPCrossesNode(t *testing.T) {
+	m := mustMesh(t, 0, 32, 8)
+	deep := Strategy{DP: 1, TP: 8, PP: 4, MicroBatches: 1}
+	if !deep.PPCrossesNode(m) {
+		t.Error("tp=8 stages on 4 nodes: stage boundaries cross nodes")
+	}
+	shallow := Strategy{DP: 4, TP: 2, PP: 4, MicroBatches: 1} // 4 stages inside... tp*dp=8 -> stage spans node
+	_ = shallow
+	single := Strategy{DP: 32, TP: 1, PP: 1, MicroBatches: 1}
+	if single.PPCrossesNode(m) {
+		t.Error("pp=1 never crosses nodes")
+	}
+}
+
+func TestLayersPerStage(t *testing.T) {
+	s := Strategy{DP: 1, TP: 1, PP: 3, MicroBatches: 1}
+	if got := s.LayersPerStage(model.LLaMA7B); got != 11 {
+		t.Errorf("ceil(32/3) = %d, want 11", got)
+	}
+	s4 := Strategy{DP: 1, TP: 1, PP: 4, MicroBatches: 1}
+	if got := s4.LayersPerStage(model.LLaMA70B); got != 20 {
+		t.Errorf("80/4 = %d, want 20", got)
+	}
+}
+
+func TestMicroBatchOptions(t *testing.T) {
+	got := MicroBatchOptions(8)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("MicroBatchOptions(8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MicroBatchOptions(8) = %v, want %v", got, want)
+		}
+	}
+	if got := MicroBatchOptions(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("MicroBatchOptions(0) = %v, want [1]", got)
+	}
+	for _, n := range MicroBatchOptions(1 << 20) {
+		if n > 64 {
+			t.Errorf("micro-batch option %d exceeds cap 64", n)
+		}
+	}
+}
+
+func TestEnumerateWithMicroBatchesAllValid(t *testing.T) {
+	c := 16
+	m := mustMesh(t, 0, c, 8)
+	for _, s := range EnumerateWithMicroBatches(c, 8, 16, 512) {
+		if err := s.Validate(m, model.LLaMA70B, 512); err != nil {
+			t.Errorf("enumerated strategy invalid: %v: %v", s, err)
+		}
+	}
+}
+
+// Property: every enumerated factorization multiplies back to n.
+func TestEnumerateProperty(t *testing.T) {
+	f := func(k uint8) bool {
+		n := 1 << (k % 8) // 1..128
+		for _, s := range Enumerate(n, 8, 64) {
+			if s.WorldSize() != n || s.TP > 8 || s.PP > 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

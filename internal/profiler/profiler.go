@@ -1,0 +1,287 @@
+// Package profiler reproduces the paper's profiling-assisted estimation
+// front end (§5.1): it measures per-layer operation times on a grid of
+// power-of-two input sizes and answers later queries by linear
+// interpolation. In the paper the measurements come from short runs on real
+// GPUs; here they come from the gpumodel oracle perturbed by deterministic
+// measurement noise — preserving both the interface and the estimator's
+// error structure (interpolation + noise, paper Fig. 12 right).
+package profiler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/model"
+)
+
+// Options configures a profiling run.
+type Options struct {
+	// MaxTokens bounds the token grid (defaults to 1<<20).
+	MaxTokens int64
+	// MaxTP bounds the profiled tensor-parallel degrees (defaults to the
+	// node size).
+	MaxTP int
+	// NoiseFrac is the relative measurement noise (defaults to 0.03).
+	NoiseFrac float64
+	// Seed makes the noise deterministic per experiment.
+	Seed int64
+	// Repetitions per sample, as a real profiler would average (default 3).
+	Repetitions int
+	// PerSampleOverhead is the fixed setup/launch wall time of one
+	// measurement (default 50 ms) — this dominates ProfileCost.
+	PerSampleOverhead float64
+}
+
+func (o Options) withDefaults(hw hardware.Cluster) Options {
+	if o.MaxTokens == 0 {
+		// The paper profiles batch sizes up to 512 at sequence lengths up
+		// to 1024 (Fig. 12): half a million tokens. Larger queries
+		// extrapolate linearly.
+		o.MaxTokens = 1 << 19
+	}
+	if o.MaxTP == 0 {
+		o.MaxTP = hw.GPUsPerNode
+	}
+	if o.NoiseFrac == 0 {
+		o.NoiseFrac = 0.03
+	}
+	if o.Repetitions == 0 {
+		o.Repetitions = 2
+	}
+	if o.PerSampleOverhead == 0 {
+		o.PerSampleOverhead = 0.03
+	}
+	return o
+}
+
+// curve is a piecewise-linear function sampled at sorted xs.
+type curve struct {
+	xs []float64
+	ys []float64
+}
+
+// eval interpolates linearly, extrapolating from the boundary segments for
+// out-of-range queries (the paper's rule for sizes outside the profiled
+// set).
+func (c curve) eval(x float64) float64 {
+	n := len(c.xs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return c.ys[0]
+	}
+	i := sort.SearchFloat64s(c.xs, x)
+	switch {
+	case i <= 0:
+		i = 1
+	case i >= n:
+		i = n - 1
+	}
+	x0, x1 := c.xs[i-1], c.xs[i]
+	y0, y1 := c.ys[i-1], c.ys[i]
+	y := y0 + (y1-y0)*(x-x0)/(x1-x0)
+	if y < 0 {
+		return 0
+	}
+	return y
+}
+
+// surface is a family of curves over a second axis (attention span or
+// decode position), interpolated linearly between neighbours.
+type surface struct {
+	zs     []float64
+	curves []curve
+}
+
+func (s surface) eval(x, z float64) float64 {
+	n := len(s.zs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return s.curves[0].eval(x)
+	}
+	i := sort.SearchFloat64s(s.zs, z)
+	switch {
+	case i <= 0:
+		i = 1
+	case i >= n:
+		i = n - 1
+	}
+	z0, z1 := s.zs[i-1], s.zs[i]
+	y0, y1 := s.curves[i-1].eval(x), s.curves[i].eval(x)
+	y := y0 + (y1-y0)*(z-z0)/(z1-z0)
+	if y < 0 {
+		return 0
+	}
+	return y
+}
+
+// Table holds one model's profiled statistics and implements
+// gpumodel.ModelCoster by interpolation.
+type Table struct {
+	Cfg model.Config
+	// ProfileCost is the simulated wall time the profiling run took
+	// (Fig. 12 left).
+	ProfileCost float64
+
+	fwd    map[int]surface // tp -> (tokens × span) surface
+	bwd    map[int]surface
+	decode map[int]surface // tp -> (batch × position) surface
+	head   map[int]curve   // tp -> tokens curve
+	optPer float64         // seconds per local parameter
+}
+
+var _ gpumodel.ModelCoster = (*Table)(nil)
+
+// LayerFwd implements gpumodel.ModelCoster.
+func (t *Table) LayerFwd(tp int, tokens int64, avgSpan float64) float64 {
+	return t.fwd[clampTP(t.fwd, tp)].eval(float64(tokens), avgSpan)
+}
+
+// LayerBwd implements gpumodel.ModelCoster.
+func (t *Table) LayerBwd(tp int, tokens int64, avgSpan float64) float64 {
+	return t.bwd[clampTP(t.bwd, tp)].eval(float64(tokens), avgSpan)
+}
+
+// LayerDecode implements gpumodel.ModelCoster.
+func (t *Table) LayerDecode(tp int, batchSeqs int, pos int) float64 {
+	return t.decode[clampTP(t.decode, tp)].eval(float64(batchSeqs), float64(pos))
+}
+
+// HeadFwd implements gpumodel.ModelCoster.
+func (t *Table) HeadFwd(tp int, tokens int64) float64 {
+	return t.head[clampTPc(t.head, tp)].eval(float64(tokens))
+}
+
+// OptimStep implements gpumodel.ModelCoster.
+func (t *Table) OptimStep(shardParams int64) float64 {
+	return float64(shardParams) * t.optPer
+}
+
+func clampTP(m map[int]surface, tp int) int {
+	best := 1
+	for k := range m {
+		if k <= tp && k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+func clampTPc(m map[int]curve, tp int) int {
+	best := 1
+	for k := range m {
+		if k <= tp && k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// splitmix64 produces the deterministic per-sample measurement noise.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func noisy(v float64, frac float64, seed uint64) float64 {
+	u := float64(splitmix64(seed))/float64(math.MaxUint64)*2 - 1 // [-1, 1]
+	return v * (1 + frac*u)
+}
+
+func pow2sUpTo(max int64, from int64) []float64 {
+	var out []float64
+	for v := from; v <= max; v *= 2 {
+		out = append(out, float64(v))
+	}
+	return out
+}
+
+// Profile runs the synthetic profiler for one model on the cluster. It
+// samples forward/backward times over a power-of-two (tokens × span) grid,
+// decode times over a (batch × position) grid, head times over tokens, and
+// the optimizer's per-parameter cost, and returns the interpolation table.
+func Profile(hw hardware.Cluster, cfg model.Config, opt Options) (*Table, error) {
+	if err := hw.Validate(); err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	opt = opt.withDefaults(hw)
+	oracle := gpumodel.NewOracle(hw, cfg)
+
+	t := &Table{
+		Cfg:    cfg,
+		fwd:    map[int]surface{},
+		bwd:    map[int]surface{},
+		decode: map[int]surface{},
+		head:   map[int]curve{},
+	}
+	seed := uint64(opt.Seed)
+	samples := 0
+	var sampledTime float64
+	sample := func(v float64, keys ...uint64) float64 {
+		h := seed
+		for _, k := range keys {
+			h = splitmix64(h ^ k)
+		}
+		samples++
+		sampledTime += v * float64(opt.Repetitions)
+		return noisy(v, opt.NoiseFrac, h)
+	}
+
+	tokens := pow2sUpTo(opt.MaxTokens, 64)
+	maxSpan := int64(2048)
+	if int64(cfg.MaxPositionEmbeddings) < maxSpan {
+		maxSpan = int64(cfg.MaxPositionEmbeddings)
+	}
+	spans := pow2sUpTo(maxSpan, 256)
+	batches := pow2sUpTo(512, 1)
+	positions := pow2sUpTo(int64(cfg.MaxPositionEmbeddings), 256)
+
+	for tp := 1; tp <= opt.MaxTP; tp *= 2 {
+		var fwdS, bwdS, decS surface
+		for _, sp := range spans {
+			var fc, bc curve
+			for _, tok := range tokens {
+				fc.xs = append(fc.xs, tok)
+				fc.ys = append(fc.ys, sample(oracle.LayerFwd(tp, int64(tok), sp), 1, uint64(tp), uint64(tok), uint64(sp)))
+				bc.xs = append(bc.xs, tok)
+				bc.ys = append(bc.ys, sample(oracle.LayerBwd(tp, int64(tok), sp), 2, uint64(tp), uint64(tok), uint64(sp)))
+			}
+			fwdS.zs = append(fwdS.zs, sp)
+			fwdS.curves = append(fwdS.curves, fc)
+			bwdS.zs = append(bwdS.zs, sp)
+			bwdS.curves = append(bwdS.curves, bc)
+		}
+		for _, pos := range positions {
+			var dc curve
+			for _, b := range batches {
+				dc.xs = append(dc.xs, b)
+				dc.ys = append(dc.ys, sample(oracle.LayerDecode(tp, int(b), int(pos)), 3, uint64(tp), uint64(b), uint64(pos)))
+			}
+			decS.zs = append(decS.zs, pos)
+			decS.curves = append(decS.curves, dc)
+		}
+		var hc curve
+		for _, tok := range tokens {
+			hc.xs = append(hc.xs, tok)
+			hc.ys = append(hc.ys, sample(oracle.HeadFwd(tp, int64(tok)), 4, uint64(tp), uint64(tok)))
+		}
+		t.fwd[tp] = fwdS
+		t.bwd[tp] = bwdS
+		t.decode[tp] = decS
+		t.head[tp] = hc
+	}
+
+	const optProbe = 1 << 26
+	t.optPer = sample(oracle.OptimStep(optProbe), 5) / optProbe
+
+	t.ProfileCost = sampledTime + float64(samples)*opt.PerSampleOverhead
+	return t, nil
+}

@@ -1,0 +1,170 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/model"
+)
+
+func profile7B(t *testing.T) (*Table, *gpumodel.Oracle) {
+	t.Helper()
+	hw := hardware.DefaultCluster(2)
+	tab, err := Profile(hw, model.LLaMA7B, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, gpumodel.NewOracle(hw, model.LLaMA7B)
+}
+
+func TestProfileGridMatchesOracleWithinNoise(t *testing.T) {
+	tab, oracle := profile7B(t)
+	// On grid points the table must match the oracle within the 3% noise.
+	for _, tp := range []int{1, 2, 4, 8} {
+		for _, tok := range []int64{64, 1024, 65536} {
+			got := tab.LayerFwd(tp, tok, 1024)
+			want := oracle.LayerFwd(tp, tok, 1024)
+			if rel := math.Abs(got-want) / want; rel > 0.035 {
+				t.Errorf("tp=%d tokens=%d: grid point off by %.1f%%", tp, tok, 100*rel)
+			}
+		}
+	}
+}
+
+// TestInterpolationAccuracy reproduces the Fig. 12 (right) claim: estimates
+// at arbitrary (off-grid) sizes stay within ~25% of ground truth.
+func TestInterpolationAccuracy(t *testing.T) {
+	tab, oracle := profile7B(t)
+	points := []struct {
+		tp     int
+		tokens int64
+		span   float64
+	}{
+		{1, 100, 300}, {2, 3000, 700}, {4, 50000, 1500},
+		{8, 200000, 4000}, {2, 777, 2048}, {8, 123456, 1024},
+	}
+	for _, p := range points {
+		got := tab.LayerFwd(p.tp, p.tokens, p.span)
+		want := oracle.LayerFwd(p.tp, p.tokens, p.span)
+		if rel := math.Abs(got-want) / want; rel > 0.25 {
+			t.Errorf("LayerFwd(tp=%d, tok=%d, span=%.0f): off by %.1f%% (>25%%)",
+				p.tp, p.tokens, p.span, 100*rel)
+		}
+		gotB := tab.LayerBwd(p.tp, p.tokens, p.span)
+		wantB := oracle.LayerBwd(p.tp, p.tokens, p.span)
+		if rel := math.Abs(gotB-wantB) / wantB; rel > 0.25 {
+			t.Errorf("LayerBwd(tp=%d, tok=%d): off by %.1f%%", p.tp, p.tokens, 100*rel)
+		}
+	}
+}
+
+func TestDecodeInterpolation(t *testing.T) {
+	tab, oracle := profile7B(t)
+	for _, tc := range []struct{ tp, batch, pos int }{
+		{2, 3, 500}, {8, 48, 1536}, {1, 200, 3000},
+	} {
+		got := tab.LayerDecode(tc.tp, tc.batch, tc.pos)
+		want := oracle.LayerDecode(tc.tp, tc.batch, tc.pos)
+		if rel := math.Abs(got-want) / want; rel > 0.25 {
+			t.Errorf("LayerDecode(%+v): off by %.1f%%", tc, 100*rel)
+		}
+	}
+}
+
+func TestExtrapolationBeyondGrid(t *testing.T) {
+	tab, oracle := profile7B(t)
+	// 2M tokens exceeds the 1M profiling cap; linear extrapolation should
+	// still land near the oracle (compute is ~linear in tokens out there).
+	got := tab.LayerFwd(2, 2<<20, 1024)
+	want := oracle.LayerFwd(2, 2<<20, 1024)
+	if rel := math.Abs(got-want) / want; rel > 0.3 {
+		t.Errorf("extrapolated LayerFwd off by %.1f%%", 100*rel)
+	}
+	if tab.LayerFwd(2, 1, 128) < 0 {
+		t.Error("extrapolation below grid must not go negative")
+	}
+}
+
+func TestHeadAndOptimizer(t *testing.T) {
+	tab, oracle := profile7B(t)
+	if got, want := tab.HeadFwd(4, 10000), oracle.HeadFwd(4, 10000); math.Abs(got-want)/want > 0.25 {
+		t.Errorf("HeadFwd off: %g vs %g", got, want)
+	}
+	if got, want := tab.OptimStep(1<<28), oracle.OptimStep(1<<28); math.Abs(got-want)/want > 0.1 {
+		t.Errorf("OptimStep off: %g vs %g", got, want)
+	}
+}
+
+// TestProfileCostScalesWithModel reproduces Fig. 12 (left): profiling a
+// larger model costs more wall time, but stays within minutes.
+func TestProfileCostScalesWithModel(t *testing.T) {
+	hw := hardware.DefaultCluster(2)
+	var prev float64
+	for _, cfg := range model.All() {
+		tab, err := Profile(hw, cfg, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.ProfileCost <= prev {
+			t.Errorf("%s: profile cost %.1fs not increasing (prev %.1fs)",
+				cfg.Name, tab.ProfileCost, prev)
+		}
+		if tab.ProfileCost > 600 {
+			t.Errorf("%s: profile cost %.1fs exceeds minutes-scale budget", cfg.Name, tab.ProfileCost)
+		}
+		prev = tab.ProfileCost
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	hw := hardware.DefaultCluster(2)
+	a, _ := Profile(hw, model.LLaMA7B, Options{Seed: 7})
+	b, _ := Profile(hw, model.LLaMA7B, Options{Seed: 7})
+	c, _ := Profile(hw, model.LLaMA7B, Options{Seed: 8})
+	if a.LayerFwd(2, 1000, 512) != b.LayerFwd(2, 1000, 512) {
+		t.Error("same seed must reproduce identical tables")
+	}
+	if a.LayerFwd(2, 1000, 512) == c.LayerFwd(2, 1000, 512) {
+		t.Error("different seeds should perturb measurements differently")
+	}
+}
+
+func TestTPClamping(t *testing.T) {
+	tab, _ := profile7B(t)
+	// Queries at unprofiled TP degrees fall back to the nearest profiled
+	// lower degree rather than failing.
+	if got := tab.LayerFwd(16, 1024, 512); got <= 0 {
+		t.Errorf("tp=16 query returned %g", got)
+	}
+	if got := tab.LayerFwd(3, 1024, 512); got != tab.LayerFwd(2, 1024, 512) {
+		t.Error("tp=3 should clamp to the tp=2 table")
+	}
+}
+
+// Property: interpolated times are non-negative and monotone non-decreasing
+// in tokens at fixed span.
+func TestInterpolationMonotoneProperty(t *testing.T) {
+	tab, _ := profile7B(t)
+	f := func(a, b uint16) bool {
+		x, y := int64(a)+1, int64(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		fx := tab.LayerFwd(2, x*64, 1024)
+		fy := tab.LayerFwd(2, y*64, 1024)
+		return fx >= 0 && fy+1e-12 >= fx*0.9 // allow small noise wiggle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileRejectsBadCluster(t *testing.T) {
+	bad := hardware.Cluster{}
+	if _, err := Profile(bad, model.LLaMA7B, Options{}); err == nil {
+		t.Error("invalid cluster must fail profiling")
+	}
+}

@@ -1,0 +1,92 @@
+// Package realloc implements the paper's parameter reallocation (§6,
+// Fig. 6): redistributing a model's parameters from one (mesh, 3D-strategy)
+// layout to another. The outer loop pairs pipeline stages with intersecting
+// layer ranges; the inner loop remaps (dp×tp) grids by assigning every
+// destination GPU the cheapest source holding its required tensor partition
+// and broadcasting from all chosen sources in parallel. Data transfers
+// between dependent calls reuse the same machinery with the TP/DP roles
+// reversed.
+package realloc
+
+import (
+	"realhf/internal/core"
+	"realhf/internal/mesh"
+	"realhf/internal/parallel"
+)
+
+// Coords decomposes a mesh-local rank into (pp, dp, tp) coordinates under
+// the tp-innermost / dp-middle / pp-outermost mapping used by Megatron-style
+// runtimes: consecutive GPUs form TP groups, TP groups form DP replicas,
+// and whole (dp·tp) blocks form pipeline stages.
+func Coords(s parallel.Strategy, rank int) (pp, dp, tp int) {
+	tp = rank % s.TP
+	dp = (rank / s.TP) % s.DP
+	pp = rank / (s.TP * s.DP)
+	return
+}
+
+// RankOf is the inverse of Coords.
+func RankOf(s parallel.Strategy, pp, dp, tp int) int {
+	return pp*(s.TP*s.DP) + dp*s.TP + tp
+}
+
+// GPUOf maps (pp, dp, tp) coordinates to a global GPU index on the mesh.
+func GPUOf(m mesh.Mesh, s parallel.Strategy, pp, dp, tp int) int {
+	return m.First + RankOf(s, pp, dp, tp)
+}
+
+// StageLayers returns the [lo, hi) layer range of pipeline stage `stage`
+// when `layers` layers are split into s.PP stages (earlier stages take the
+// ceiling share).
+func StageLayers(layers int, s parallel.Strategy, stage int) (lo, hi int) {
+	per := (layers + s.PP - 1) / s.PP
+	lo = stage * per
+	hi = lo + per
+	if hi > layers {
+		hi = layers
+	}
+	if lo > layers {
+		lo = layers
+	}
+	return
+}
+
+// Shard identifies the model fragment one GPU holds: a layer range and a
+// tensor partition [Num, Num+1)/Den of each of those layers.
+type Shard struct {
+	GPU      int
+	LayerLo  int
+	LayerHi  int
+	Num, Den int
+}
+
+// ShardsOf enumerates the parameter shards of every GPU of an assignment.
+// DP replicas hold identical shards.
+func ShardsOf(a core.Assignment, layers int) []Shard {
+	s := a.Strategy
+	var out []Shard
+	for pp := 0; pp < s.PP; pp++ {
+		lo, hi := StageLayers(layers, s, pp)
+		for dp := 0; dp < s.DP; dp++ {
+			for tp := 0; tp < s.TP; tp++ {
+				out = append(out, Shard{
+					GPU:     GPUOf(a.Mesh, s, pp, dp, tp),
+					LayerLo: lo,
+					LayerHi: hi,
+					Num:     tp,
+					Den:     s.TP,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

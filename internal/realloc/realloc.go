@@ -1,0 +1,246 @@
+package realloc
+
+import (
+	"sort"
+
+	"realhf/internal/core"
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+)
+
+// Op is one broadcast of the redistribution schedule: SrcGPU sends Bytes
+// (the tensor chunk [ChunkLo, ChunkHi)/ChunkDen of layers [LayerLo, LayerHi))
+// to DstGPUs in a single pipelined broadcast.
+type Op struct {
+	SrcGPU  int
+	DstGPUs []int
+	Bytes   int64
+
+	LayerLo, LayerHi           int
+	ChunkLo, ChunkHi, ChunkDen int
+}
+
+// Schedule is the full set of broadcasts realizing one redistribution. Ops
+// from distinct sources proceed in parallel; ops sharing a source serialize.
+type Schedule struct {
+	Ops []Op
+	// LocalBytes counts payload already resident on its destination (no
+	// communication needed).
+	LocalBytes int64
+}
+
+// TotalBytes is the communication volume of the schedule.
+func (s Schedule) TotalBytes() int64 {
+	var b int64
+	for _, op := range s.Ops {
+		b += op.Bytes * int64(len(op.DstGPUs))
+	}
+	return b
+}
+
+// Cost estimates the schedule's wall time on a cluster: every GPU
+// accumulates busy time for the broadcasts it sends or receives, and the
+// schedule finishes when the busiest GPU does — sources broadcast in
+// parallel, as in the paper.
+func (s Schedule) Cost(hw hardware.Cluster) float64 {
+	comm := gpumodel.Comm{HW: hw}
+	busy := map[int]float64{}
+	for _, op := range s.Ops {
+		cross := false
+		srcNode := op.SrcGPU / hw.GPUsPerNode
+		for _, d := range op.DstGPUs {
+			if d/hw.GPUsPerNode != srcNode {
+				cross = true
+				break
+			}
+		}
+		t := comm.Broadcast(op.Bytes, cross)
+		busy[op.SrcGPU] += t
+		for _, d := range op.DstGPUs {
+			busy[d] += t
+		}
+	}
+	var max float64
+	for _, t := range busy {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// nodeOf returns the host index of a GPU.
+func nodeOf(gpu, gpusPerNode int) int { return gpu / gpusPerNode }
+
+// commCost ranks candidate sources for a destination: resident (same GPU) ≺
+// same node ≺ remote.
+func commCost(src, dst, gpusPerNode int) int {
+	switch {
+	case src == dst:
+		return 0
+	case nodeOf(src, gpusPerNode) == nodeOf(dst, gpusPerNode):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// PlanParams builds the broadcast schedule that rematerializes a model of
+// `layers` layers (layerBytes bf16 bytes each) from layout src to layout dst
+// (paper Fig. 6).
+func PlanParams(layers int, layerBytes int64, src, dst core.Assignment, gpusPerNode int) Schedule {
+	var sched Schedule
+	ss, ds := src.Strategy, dst.Strategy
+
+	// Outer loop: pipeline stage pairs with intersecting layer ranges.
+	for j := 0; j < ds.PP; j++ {
+		dLo, dHi := StageLayers(layers, ds, j)
+		if dLo >= dHi {
+			continue
+		}
+		for i := 0; i < ss.PP; i++ {
+			sLo, sHi := StageLayers(layers, ss, i)
+			lo, hi := maxInt(dLo, sLo), minInt(dHi, sHi)
+			if lo >= hi {
+				continue
+			}
+			planStagePair(&sched, src, dst, i, j, lo, hi, layerBytes, gpusPerNode)
+		}
+	}
+	return sched
+}
+
+// planStagePair is the inner loop: remap the (dp×tp) grid of source stage i
+// onto destination stage j for the common layers [lo, hi).
+func planStagePair(sched *Schedule, src, dst core.Assignment, i, j, lo, hi int, layerBytes int64, gpusPerNode int) {
+	ss, ds := src.Strategy, dst.Strategy
+	den := lcm(ss.TP, ds.TP)
+	sw := den / ss.TP // sub-chunks per source partition
+	dw := den / ds.TP // sub-chunks per destination partition
+	bytesPerChunk := int64(hi-lo) * layerBytes / int64(den)
+
+	// For every (source tp rank, destination tp rank) pair with overlapping
+	// tensor chunks, each destination GPU picks its cheapest source replica;
+	// destinations sharing a chosen source coalesce into one broadcast.
+	for dtp := 0; dtp < ds.TP; dtp++ {
+		dChunkLo, dChunkHi := dtp*dw, (dtp+1)*dw
+		for stp := 0; stp < ss.TP; stp++ {
+			cLo, cHi := maxInt(dChunkLo, stp*sw), minInt(dChunkHi, (stp+1)*sw)
+			if cLo >= cHi {
+				continue
+			}
+			pieceBytes := bytesPerChunk * int64(cHi-cLo)
+
+			// Candidate sources: the DP replicas of (stage i, tp stp).
+			srcs := make([]int, ss.DP)
+			for sdp := 0; sdp < ss.DP; sdp++ {
+				srcs[sdp] = GPUOf(src.Mesh, ss, i, sdp, stp)
+			}
+
+			// Each destination replica picks the cheapest source.
+			bySrc := map[int][]int{}
+			for ddp := 0; ddp < ds.DP; ddp++ {
+				dgpu := GPUOf(dst.Mesh, ds, j, ddp, dtp)
+				best, bestCost := srcs[0], commCost(srcs[0], dgpu, gpusPerNode)
+				for _, s := range srcs[1:] {
+					if c := commCost(s, dgpu, gpusPerNode); c < bestCost {
+						best, bestCost = s, c
+					}
+				}
+				if best == dgpu {
+					sched.LocalBytes += pieceBytes
+					continue
+				}
+				bySrc[best] = append(bySrc[best], dgpu)
+			}
+			srcOrder := make([]int, 0, len(bySrc))
+			for s := range bySrc {
+				srcOrder = append(srcOrder, s)
+			}
+			sort.Ints(srcOrder)
+			for _, s := range srcOrder {
+				dsts := bySrc[s]
+				sort.Ints(dsts)
+				sched.Ops = append(sched.Ops, Op{
+					SrcGPU: s, DstGPUs: dsts, Bytes: pieceBytes,
+					LayerLo: lo, LayerHi: hi,
+					ChunkLo: cLo, ChunkHi: cHi, ChunkDen: den,
+				})
+			}
+		}
+	}
+}
+
+// PlanData builds the broadcast schedule moving intermediate data between
+// two calls. Function calls produce data partitioned along DP and replicated
+// along TP — the mirror of the parameter layout — so the same matching runs
+// with TP and DP roles swapped (paper §6): source partitions are the DP
+// ranks of the producer's last stage; destinations are the DP ranks of the
+// consumer's first stage, replicated across its TP group.
+func PlanData(totalBytes int64, src, dst core.Assignment, gpusPerNode int) Schedule {
+	var sched Schedule
+	ss, ds := src.Strategy, dst.Strategy
+	den := lcm(ss.DP, ds.DP)
+	sw := den / ss.DP
+	dw := den / ds.DP
+	bytesPerChunk := totalBytes / int64(den)
+
+	for ddp := 0; ddp < ds.DP; ddp++ {
+		dChunkLo, dChunkHi := ddp*dw, (ddp+1)*dw
+		for sdp := 0; sdp < ss.DP; sdp++ {
+			cLo, cHi := maxInt(dChunkLo, sdp*sw), minInt(dChunkHi, (sdp+1)*sw)
+			if cLo >= cHi {
+				continue
+			}
+			pieceBytes := bytesPerChunk * int64(cHi-cLo)
+			// Candidate sources: TP replicas of the producer's last stage.
+			srcs := make([]int, ss.TP)
+			for stp := 0; stp < ss.TP; stp++ {
+				srcs[stp] = GPUOf(src.Mesh, ss, ss.PP-1, sdp, stp)
+			}
+			bySrc := map[int][]int{}
+			for dtp := 0; dtp < ds.TP; dtp++ {
+				dgpu := GPUOf(dst.Mesh, ds, 0, ddp, dtp)
+				best, bestCost := srcs[0], commCost(srcs[0], dgpu, gpusPerNode)
+				for _, s := range srcs[1:] {
+					if c := commCost(s, dgpu, gpusPerNode); c < bestCost {
+						best, bestCost = s, c
+					}
+				}
+				if best == dgpu {
+					sched.LocalBytes += pieceBytes
+					continue
+				}
+				bySrc[best] = append(bySrc[best], dgpu)
+			}
+			srcOrder := make([]int, 0, len(bySrc))
+			for s := range bySrc {
+				srcOrder = append(srcOrder, s)
+			}
+			sort.Ints(srcOrder)
+			for _, s := range srcOrder {
+				dsts := bySrc[s]
+				sort.Ints(dsts)
+				sched.Ops = append(sched.Ops, Op{
+					SrcGPU: s, DstGPUs: dsts, Bytes: pieceBytes,
+					ChunkLo: cLo, ChunkHi: cHi, ChunkDen: den,
+				})
+			}
+		}
+	}
+	return sched
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,332 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"realhf/internal/core"
+	"realhf/internal/dfg"
+	"realhf/internal/estimator"
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/realloc"
+)
+
+// Options configures a run.
+type Options struct {
+	// UseCUDAGraph enables CUDA-graph capture for decoding kernels
+	// (Table 6's ±CUDAGraph comparison). Default true.
+	UseCUDAGraph bool
+	// Transport overrides the default in-process transport. When set, the
+	// caller owns worker setup and teardown; StaticBytes must already be
+	// populated on the workers.
+	Transport Transport
+	// Workers must accompany a custom Transport (for peak reporting).
+	Workers []*ModelWorker
+}
+
+// NodeSpan is one executed node of the run timeline.
+type NodeSpan struct {
+	Label  string
+	Kind   core.Kind
+	StartV float64
+	EndV   float64
+}
+
+// Report is the outcome of executing a plan on the simulated cluster.
+type Report struct {
+	// MakespanV is the virtual wall time of the whole (possibly
+	// multi-iteration) run.
+	MakespanV float64
+	// Iterations is the number of RLHF iterations the graph spanned.
+	Iterations int
+	// CallTimes maps call names to their iteration-0 virtual durations
+	// (Table 6 rows).
+	CallTimes map[string]float64
+	// CallBreakdowns carries the kernel-category split per call (Fig. 11).
+	CallBreakdowns map[string]gpumodel.Breakdown
+	// CommTimeV totals parameter reallocation + data transfer + offload
+	// time across the run.
+	CommTimeV float64
+	// Timeline lists every executed node.
+	Timeline []NodeSpan
+	// OOM reports whether any worker ran out of memory; Errors carries the
+	// worker messages.
+	OOM    bool
+	Errors []string
+	// PeakBytes is the max observed memory over all workers.
+	PeakBytes int64
+}
+
+// IterTime is the average virtual time per RLHF iteration.
+func (r *Report) IterTime() float64 {
+	if r.Iterations == 0 {
+		return r.MakespanV
+	}
+	return r.MakespanV / float64(r.Iterations)
+}
+
+// Master is the centralized controller of §6: it owns the augmented graph,
+// resolves dependencies, and drives model workers through a Transport.
+type Master struct {
+	plan    *core.Plan
+	hw      hardware.Cluster
+	oracles map[dfg.Role]*gpumodel.Oracle
+	comm    gpumodel.Comm
+	opts    Options
+}
+
+// NewMaster prepares a master for one plan.
+func NewMaster(p *core.Plan, opts Options) *Master {
+	oracles := map[dfg.Role]*gpumodel.Oracle{}
+	for role, ms := range p.Models {
+		o := gpumodel.NewOracle(p.Cluster, ms.Cfg)
+		o.UseCUDAGraph = opts.UseCUDAGraph
+		oracles[role] = o
+	}
+	return &Master{
+		plan:    p,
+		hw:      p.Cluster,
+		oracles: oracles,
+		comm:    gpumodel.Comm{HW: p.Cluster},
+		opts:    opts,
+	}
+}
+
+// Run executes the plan: it validates and expands it into the augmented
+// graph, spawns (or adopts) model workers, and runs the dependency-resolving
+// dispatch loop until every node completes.
+func Run(p *core.Plan, opts Options) (*Report, error) {
+	m := NewMaster(p, opts)
+	return m.Run()
+}
+
+// RunDefault executes the plan with CUDA graphs enabled over the in-process
+// transport.
+func RunDefault(p *core.Plan) (*Report, error) {
+	return Run(p, Options{UseCUDAGraph: true})
+}
+
+// nodeWork is the master's precomputed knowledge about one augmented node.
+type nodeWork struct {
+	node *core.AugNode
+	// gpus are the devices the node occupies (deduplicated, sorted).
+	gpus []int
+	// durByGPU gives each device's busy time; nil means uniform `dur`.
+	durByGPU map[int]float64
+	dur      float64
+	alloc    int64
+	// breakdown is set for call nodes.
+	breakdown gpumodel.Breakdown
+}
+
+func (m *Master) prepare(g *core.AugGraph) ([]nodeWork, error) {
+	works := make([]nodeWork, len(g.Nodes))
+	for _, n := range g.Nodes {
+		w := nodeWork{node: n}
+		set := map[int]bool{}
+		for _, ms := range n.Meshes {
+			for _, gpu := range ms.GPUs() {
+				set[gpu] = true
+			}
+		}
+		for gpu := range set {
+			w.gpus = append(w.gpus, gpu)
+		}
+		sort.Ints(w.gpus)
+
+		switch n.Kind {
+		case core.KindCall:
+			spec, err := estimator.CallSpecOf(m.plan, n.Call)
+			if err != nil {
+				return nil, err
+			}
+			oracle, ok := m.oracles[n.Call.Role]
+			if !ok {
+				return nil, fmt.Errorf("runtime: no oracle for role %q", n.Call.Role)
+			}
+			w.breakdown = gpumodel.AssembleCall(oracle, m.comm, spec)
+			w.dur = w.breakdown.Total()
+			w.alloc = estimator.CallActiveBytes(m.plan, n.Call)
+		case core.KindParamRealloc:
+			ms := m.plan.Models[n.Role]
+			sched := realloc.PlanParams(ms.Cfg.NumLayers, ms.Cfg.LayerParamBytes(),
+				n.Src, n.Dst, m.hw.GPUsPerNode)
+			w.durByGPU = m.scheduleBusy(sched)
+			w.dur = sched.Cost(m.hw)
+		case core.KindDataTransfer:
+			sched := realloc.PlanData(n.Bytes, n.Src, n.Dst, m.hw.GPUsPerNode)
+			w.durByGPU = m.scheduleBusy(sched)
+			w.dur = sched.Cost(m.hw)
+		case core.KindOffload:
+			perGPU := n.Bytes / int64(n.Dst.Mesh.NumGPUs())
+			w.dur = m.comm.Offload(perGPU)
+		}
+		works[n.ID] = w
+	}
+	return works, nil
+}
+
+// scheduleBusy converts a broadcast schedule into per-GPU busy durations.
+func (m *Master) scheduleBusy(s realloc.Schedule) map[int]float64 {
+	busy := map[int]float64{}
+	for _, op := range s.Ops {
+		cross := false
+		srcNode := op.SrcGPU / m.hw.GPUsPerNode
+		for _, d := range op.DstGPUs {
+			if d/m.hw.GPUsPerNode != srcNode {
+				cross = true
+				break
+			}
+		}
+		t := m.comm.Broadcast(op.Bytes, cross)
+		busy[op.SrcGPU] += t
+		for _, d := range op.DstGPUs {
+			busy[d] += t
+		}
+	}
+	return busy
+}
+
+// Run drives the dispatch loop.
+func (m *Master) Run() (*Report, error) {
+	g, err := m.plan.BuildAugGraph()
+	if err != nil {
+		return nil, err
+	}
+	works, err := m.prepare(g)
+	if err != nil {
+		return nil, err
+	}
+
+	var workers []*ModelWorker
+	transport := m.opts.Transport
+	if transport == nil {
+		static := estimator.StaticPerGPU(m.plan)
+		workers = make([]*ModelWorker, m.hw.NumGPUs())
+		for i := range workers {
+			workers[i] = NewModelWorker(i, m.hw.GPU.MemoryBytes)
+			workers[i].StaticBytes = static[i]
+		}
+		ct := NewChanTransport(workers)
+		defer ct.Close()
+		transport = ct
+	} else {
+		workers = m.opts.Workers
+	}
+
+	report := &Report{
+		CallTimes:      map[string]float64{},
+		CallBreakdowns: map[string]gpumodel.Breakdown{},
+	}
+
+	pending := make([]int, len(g.Nodes)) // outstanding parent count
+	readyV := make([]float64, len(g.Nodes))
+	outstanding := make([]int, len(g.Nodes)) // replies still expected
+	startV := make([]float64, len(g.Nodes))
+	endV := make([]float64, len(g.Nodes))
+	for i := range startV {
+		startV[i] = -1
+	}
+
+	dispatch := func(id int) error {
+		w := works[id]
+		for _, gpu := range w.gpus {
+			dur := w.dur
+			if w.durByGPU != nil {
+				dur = w.durByGPU[gpu]
+			}
+			req := Request{
+				ID: id, Kind: ReqRunCall, NodeID: id, Label: w.node.Label,
+				Handle: string(w.node.Role), ReadyV: readyV[id], DurV: dur,
+				AllocBytes: w.alloc,
+			}
+			if w.node.Kind != core.KindCall {
+				req.Kind = ReqComm
+				req.AllocBytes = 0
+			}
+			if err := transport.Send(gpu, req); err != nil {
+				return err
+			}
+		}
+		outstanding[id] = len(w.gpus)
+		return nil
+	}
+
+	inFlight := 0
+	for _, n := range g.Nodes {
+		pending[n.ID] = len(n.Parents)
+	}
+	for _, n := range g.Nodes {
+		if pending[n.ID] == 0 {
+			if err := dispatch(n.ID); err != nil {
+				return nil, err
+			}
+			inFlight++
+		}
+	}
+
+	iters := 0
+	for inFlight > 0 {
+		rep, ok := <-transport.Replies()
+		if !ok {
+			return nil, fmt.Errorf("runtime: transport closed with %d nodes in flight", inFlight)
+		}
+		if rep.OOM {
+			report.OOM = true
+			report.Errors = append(report.Errors, rep.Error)
+		}
+		id := rep.ID
+		if rep.EndV > endV[id] {
+			endV[id] = rep.EndV
+		}
+		outstanding[id]--
+		if outstanding[id] > 0 {
+			continue
+		}
+		// Node complete.
+		inFlight--
+		n := g.Nodes[id]
+		w := works[id]
+		report.Timeline = append(report.Timeline, NodeSpan{
+			Label: n.Label, Kind: n.Kind, StartV: endV[id] - w.dur, EndV: endV[id],
+		})
+		if endV[id] > report.MakespanV {
+			report.MakespanV = endV[id]
+		}
+		switch n.Kind {
+		case core.KindCall:
+			if n.Call.Iter+1 > iters {
+				iters = n.Call.Iter + 1
+			}
+			if n.Call.Iter == 0 {
+				report.CallTimes[n.Call.Name] = w.dur
+				report.CallBreakdowns[n.Call.Name] = w.breakdown
+			}
+		default:
+			report.CommTimeV += w.dur
+		}
+		for _, c := range n.Children {
+			if endV[id] > readyV[c] {
+				readyV[c] = endV[id]
+			}
+			pending[c]--
+			if pending[c] == 0 {
+				if err := dispatch(c); err != nil {
+					return nil, err
+				}
+				inFlight++
+			}
+		}
+	}
+	report.Iterations = iters
+	for _, w := range workers {
+		if w != nil && w.Peak() > report.PeakBytes {
+			report.PeakBytes = w.Peak()
+		}
+	}
+	sort.Slice(report.Timeline, func(i, j int) bool {
+		return report.Timeline[i].StartV < report.Timeline[j].StartV
+	})
+	return report, nil
+}

@@ -1,0 +1,79 @@
+// Package runtime implements the paper's runtime engine (§6): a centralized
+// master worker that resolves the dependencies of the augmented dataflow
+// graph and dispatches requests to per-GPU model workers, which execute them
+// in FIFO order and reply with completion information. Requests carry no
+// tensor data — data stays resident on worker GPUs and the master only
+// communicates locations and timing, exactly as in the paper.
+//
+// Since no physical GPUs exist here (DESIGN.md §2), workers execute against
+// a simulated device: each worker owns a virtual clock and a memory ledger,
+// and request durations come from the gpumodel oracle. Everything else — the
+// dependency engine, the dispatch protocol, the per-GPU queues, parameter
+// reallocation and data-transfer scheduling — runs for real, over either
+// in-process channels or TCP sockets with gob encoding.
+package runtime
+
+// RequestKind classifies master->worker requests.
+type RequestKind int
+
+const (
+	// ReqRunCall executes one model function call slice on the worker.
+	ReqRunCall RequestKind = iota
+	// ReqComm executes the worker's share of a parameter reallocation, data
+	// transfer, or offload.
+	ReqComm
+	// ReqShutdown stops the worker loop.
+	ReqShutdown
+)
+
+func (k RequestKind) String() string {
+	switch k {
+	case ReqRunCall:
+		return "run"
+	case ReqComm:
+		return "comm"
+	case ReqShutdown:
+		return "shutdown"
+	}
+	return "unknown"
+}
+
+// Request is one master->worker message. The master pre-computes the virtual
+// duration of the worker's share of the node; the worker applies its local
+// clock, checks memory, and answers with its end time.
+type Request struct {
+	ID     int
+	Kind   RequestKind
+	NodeID int
+	// Label is the augmented-graph node label (diagnostics).
+	Label string
+	// Handle is the local LLM handle the request addresses (e.g. "actor").
+	Handle string
+	// ReadyV is the virtual time at which the node's inputs are available
+	// (max end time over dependency parents).
+	ReadyV float64
+	// DurV is the worker's virtual busy time for this node.
+	DurV float64
+	// AllocBytes is the transient device memory the node needs while it
+	// runs (activations, KV cache, logits, reallocated parameters).
+	AllocBytes int64
+}
+
+// Reply is one worker->master message.
+type Reply struct {
+	ID    int
+	GPU   int
+	EndV  float64
+	OOM   bool
+	Error string
+}
+
+// Transport moves requests and replies between the master and workers.
+type Transport interface {
+	// Send enqueues a request on the given worker's FIFO queue.
+	Send(gpu int, req Request) error
+	// Replies yields worker replies in arrival order.
+	Replies() <-chan Reply
+	// Close tears the transport down.
+	Close() error
+}

@@ -1,0 +1,204 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ChanTransport runs each model worker as a goroutine fed by a buffered
+// channel — the in-process transport used by tests, benchmarks and the
+// default Run path.
+type ChanTransport struct {
+	queues  []chan Request
+	replies chan Reply
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewChanTransport starts one worker goroutine per device.
+func NewChanTransport(workers []*ModelWorker) *ChanTransport {
+	t := &ChanTransport{
+		queues:  make([]chan Request, len(workers)),
+		replies: make(chan Reply, 4*len(workers)),
+	}
+	for i, w := range workers {
+		q := make(chan Request, 64)
+		t.queues[i] = q
+		t.wg.Add(1)
+		go func(w *ModelWorker, q chan Request) {
+			defer t.wg.Done()
+			for req := range q {
+				if req.Kind == ReqShutdown {
+					return
+				}
+				t.replies <- w.Handle(req)
+			}
+		}(w, q)
+	}
+	return t
+}
+
+// Send implements Transport.
+func (t *ChanTransport) Send(gpu int, req Request) error {
+	if gpu < 0 || gpu >= len(t.queues) {
+		return fmt.Errorf("runtime: no worker for gpu %d", gpu)
+	}
+	t.queues[gpu] <- req
+	return nil
+}
+
+// Replies implements Transport.
+func (t *ChanTransport) Replies() <-chan Reply { return t.replies }
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	t.once.Do(func() {
+		for _, q := range t.queues {
+			q <- Request{Kind: ReqShutdown}
+			close(q)
+		}
+		t.wg.Wait()
+	})
+	return nil
+}
+
+// TCPTransport serves model workers over real TCP sockets with gob-encoded
+// messages — the cross-process deployment shape of the paper's runtime
+// engine. The master dials one connection per worker.
+type TCPTransport struct {
+	conns   []net.Conn
+	encs    []*gob.Encoder
+	encMu   []sync.Mutex
+	replies chan Reply
+	ln      net.Listener
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// ServeWorkersTCP starts a TCP listener and one worker loop per device; the
+// returned address is what NewTCPTransport dials. Worker i identifies itself
+// by sending its GPU index on connect.
+func ServeWorkersTCP(workers []*ModelWorker) (addr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+					return
+				}
+			}
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				var gpu int
+				if err := dec.Decode(&gpu); err != nil {
+					return
+				}
+				if gpu < 0 || gpu >= len(workers) {
+					return
+				}
+				w := workers[gpu]
+				for {
+					var req Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					if req.Kind == ReqShutdown {
+						return
+					}
+					if err := enc.Encode(w.Handle(req)); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() {
+		close(done)
+		ln.Close()
+		wg.Wait()
+	}, nil
+}
+
+// NewTCPTransport connects the master to a worker server for n devices.
+func NewTCPTransport(addr string, n int) (*TCPTransport, error) {
+	t := &TCPTransport{
+		conns:   make([]net.Conn, n),
+		encs:    make([]*gob.Encoder, n),
+		encMu:   make([]sync.Mutex, n),
+		replies: make(chan Reply, 4*n),
+	}
+	for i := 0; i < n; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("runtime: dial worker %d: %w", i, err)
+		}
+		t.conns[i] = conn
+		enc := gob.NewEncoder(conn)
+		t.encs[i] = enc
+		if err := enc.Encode(i); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("runtime: handshake worker %d: %w", i, err)
+		}
+		dec := gob.NewDecoder(conn)
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for {
+				var rep Reply
+				if err := dec.Decode(&rep); err != nil {
+					return
+				}
+				t.replies <- rep
+			}
+		}()
+	}
+	return t, nil
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(gpu int, req Request) error {
+	if gpu < 0 || gpu >= len(t.conns) || t.conns[gpu] == nil {
+		return fmt.Errorf("runtime: no connection for gpu %d", gpu)
+	}
+	t.encMu[gpu].Lock()
+	defer t.encMu[gpu].Unlock()
+	return t.encs[gpu].Encode(req)
+}
+
+// Replies implements Transport.
+func (t *TCPTransport) Replies() <-chan Reply { return t.replies }
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		for gpu, conn := range t.conns {
+			if conn == nil {
+				continue
+			}
+			t.encMu[gpu].Lock()
+			_ = t.encs[gpu].Encode(Request{Kind: ReqShutdown})
+			t.encMu[gpu].Unlock()
+			conn.Close()
+		}
+		t.wg.Wait()
+	})
+	return nil
+}

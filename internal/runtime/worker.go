@@ -1,0 +1,64 @@
+package runtime
+
+import "fmt"
+
+// dispatchOverheadV is the virtual per-request master->worker dispatch
+// latency (socket round trip plus queue polling). It is one of the runtime
+// effects the lightweight estimator does not model, contributing to the
+// estimated-vs-real gap of Fig. 12.
+const dispatchOverheadV = 200e-6
+
+// ModelWorker simulates one GPU's worker process: it executes requests in
+// FIFO order, advancing a virtual clock and enforcing the device memory
+// limit.
+type ModelWorker struct {
+	GPU int
+	// MemoryBytes is the device capacity.
+	MemoryBytes int64
+	// StaticBytes is the resting memory of models homed on this GPU.
+	StaticBytes int64
+
+	clockV float64
+	// peakBytes tracks the high-water mark for reporting.
+	peakBytes int64
+}
+
+// NewModelWorker builds a worker for one device.
+func NewModelWorker(gpu int, memoryBytes int64) *ModelWorker {
+	return &ModelWorker{GPU: gpu, MemoryBytes: memoryBytes}
+}
+
+// Clock returns the worker's current virtual time.
+func (w *ModelWorker) Clock() float64 { return w.clockV }
+
+// Peak returns the observed memory high-water mark.
+func (w *ModelWorker) Peak() int64 { return w.peakBytes }
+
+// Handle executes one request against the simulated device and returns the
+// reply the worker would send. Shutdown requests return a zero Reply.
+func (w *ModelWorker) Handle(req Request) Reply {
+	if req.Kind == ReqShutdown {
+		return Reply{ID: req.ID, GPU: w.GPU}
+	}
+	start := req.ReadyV
+	if w.clockV > start {
+		start = w.clockV
+	}
+	start += dispatchOverheadV
+
+	need := w.StaticBytes + req.AllocBytes
+	if need > w.peakBytes {
+		w.peakBytes = need
+	}
+	if need > w.MemoryBytes {
+		w.clockV = start
+		return Reply{
+			ID: req.ID, GPU: w.GPU, EndV: start, OOM: true,
+			Error: fmt.Sprintf("gpu %d: CUDA out of memory: %d + %d > %d",
+				w.GPU, w.StaticBytes, req.AllocBytes, w.MemoryBytes),
+		}
+	}
+	end := start + req.DurV
+	w.clockV = end
+	return Reply{ID: req.ID, GPU: w.GPU, EndV: end}
+}

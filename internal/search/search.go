@@ -1,0 +1,493 @@
+// Package search implements the paper's execution-plan search (§5.2): a
+// Metropolis–Hastings MCMC walk over (device mesh, parallelization strategy)
+// assignments, seeded with a greedy per-call minimizer, guided by the
+// estimator's OOM-penalized cost, with the heuristic pruning of §8.2 for
+// very large clusters and a bounded exhaustive search used as the optimality
+// reference of Fig. 15.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"realhf/internal/core"
+	"realhf/internal/dfg"
+	"realhf/internal/estimator"
+	"realhf/internal/gpumodel"
+	"realhf/internal/memory"
+	"realhf/internal/mesh"
+	"realhf/internal/parallel"
+)
+
+// PruneLevel selects how aggressively the candidate space is cut before
+// sampling (paper Fig. 14).
+type PruneLevel int
+
+const (
+	// PruneNone keeps every legal mesh and factorization (tensor
+	// parallelism is still capped at the node size — the paper prunes
+	// cross-node TP unconditionally).
+	PruneNone PruneLevel = iota
+	// PruneModerate restricts multi-node meshes to power-of-two node spans
+	// aligned to their size.
+	PruneModerate
+	// PruneAggressive additionally caps pipeline depth at 16 stages and
+	// micro-batch counts at 8.
+	PruneAggressive
+)
+
+// Options configures a search run.
+type Options struct {
+	// TimeLimit bounds wall-clock search time (default 5 s).
+	TimeLimit time.Duration
+	// MaxSteps bounds MCMC steps (0 = unbounded; the time limit governs).
+	MaxSteps int
+	// Beta is the sampling temperature β of P(p) ∝ exp(−β·cost). When 0 it
+	// is auto-scaled to 10/cost(p₀) so relative cost differences matter
+	// uniformly across problem sizes.
+	Beta float64
+	// Seed makes the chain deterministic.
+	Seed int64
+	// Prune selects the candidate-space pruning level.
+	Prune PruneLevel
+	// MaxCandidatesPerCall, when positive, shortlists each call's candidate
+	// set to the N fastest individual assignments before sampling — the
+	// knob behind the Fig. 14 pruning ablation (a cap of N yields a joint
+	// space of ~N^calls plans).
+	MaxCandidatesPerCall int
+	// ProgressEvery records a trace point every N steps (default 64).
+	ProgressEvery int
+	// InitialPlan seeds the chain instead of the greedy plan. It must be
+	// fully assigned.
+	InitialPlan *core.Plan
+	// SeedCandidates are additional fully-assigned plans evaluated alongside
+	// the greedy seed; the chain starts from the cheapest. Warm-starting
+	// from e.g. the symmetric heuristic lets short search budgets match the
+	// paper's everywhere-better-than-baselines outcome.
+	SeedCandidates []*core.Plan
+	// RestrictCalls, when non-empty, limits MCMC moves to the named calls;
+	// all other assignments stay frozen at the initial plan. Used by the
+	// progressive-optimization breakdowns (paper Figs. 2 and 9).
+	RestrictCalls []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimeLimit == 0 {
+		o.TimeLimit = 5 * time.Second
+	}
+	if o.ProgressEvery == 0 {
+		o.ProgressEvery = 64
+	}
+	return o
+}
+
+// ProgressPoint is one sample of best-cost-so-far over search time.
+type ProgressPoint struct {
+	Elapsed  time.Duration
+	Step     int
+	BestCost float64
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Plan     *core.Plan
+	Cost     float64
+	Estimate *estimator.Result
+	Trace    []ProgressPoint
+	Steps    int
+	Accepted int
+	// SpaceLog10 is the log₁₀ size of the pruned joint candidate space.
+	SpaceLog10 float64
+}
+
+// candidates enumerates the legal assignments of one call under the pruning
+// level.
+func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel) []core.Assignment {
+	ms := p.Models[call.Role]
+	batch := call.Work.Batch
+	if call.Type == dfg.Train && call.Work.MiniBatches > 1 {
+		batch /= call.Work.MiniBatches
+	}
+	maxPP := ms.Cfg.NumLayers
+	maxMB := 32
+	if lvl >= PruneAggressive {
+		if maxPP > 16 {
+			maxPP = 16
+		}
+		maxMB = 8
+	}
+	var out []core.Assignment
+	for _, m := range mesh.Enumerate(p.Cluster) {
+		if lvl >= PruneModerate && m.Count > p.Cluster.GPUsPerNode {
+			span := m.Count / p.Cluster.GPUsPerNode
+			if span&(span-1) != 0 || m.FirstNode()%span != 0 {
+				continue
+			}
+		}
+		maxTP := p.Cluster.GPUsPerNode // the paper's unconditional TP prune
+		if m.Count < maxTP {
+			maxTP = m.Count
+		}
+		for _, st := range parallel.Enumerate(m.Count, maxTP, maxPP) {
+			if batch > 0 && batch%st.DP != 0 {
+				continue
+			}
+			perDP := batch / st.DP
+			if perDP == 0 {
+				perDP = 1
+			}
+			for _, mb := range parallel.MicroBatchOptions(perDP) {
+				if mb > maxMB {
+					break
+				}
+				a := core.Assignment{Mesh: m, Strategy: st.WithMicroBatches(mb)}
+				if err := a.Strategy.Validate(m, ms.Cfg, batch); err != nil {
+					continue
+				}
+				// Drop candidates whose own working set cannot fit the
+				// device even with nothing else resident: they can never be
+				// part of a feasible plan.
+				spec := gpumodel.CallSpec{
+					Cfg: ms.Cfg, IsCritic: ms.IsCritic, Type: call.Type,
+					Work: call.Work, Strategy: a.Strategy, Mesh: a.Mesh,
+				}
+				if memory.Active(spec) > p.Cluster.GPU.MemoryBytes {
+					continue
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// candidateSets precomputes per-call candidate lists and the joint space
+// size.
+func candidateSets(p *core.Plan, lvl PruneLevel) (map[string][]core.Assignment, float64, error) {
+	sets := map[string][]core.Assignment{}
+	var log10 float64
+	for _, n := range p.Graph.Nodes {
+		if _, ok := sets[n.Name]; ok {
+			continue
+		}
+		c := candidates(p, n, lvl)
+		if len(c) == 0 {
+			return nil, 0, fmt.Errorf("search: call %q has no legal assignment", n.Name)
+		}
+		sets[n.Name] = c
+		log10 += math.Log10(float64(len(c)))
+	}
+	return sets, log10, nil
+}
+
+// callTime estimates the standalone duration of one call under a candidate
+// assignment, without constructing a full plan. Assignments whose working
+// set cannot plausibly coexist with the role's static memory receive an
+// infeasibility surcharge, so greedy seeding and shortlists prefer layouts
+// that can actually run.
+func callTime(e *estimator.Estimator, p *core.Plan, n *dfg.Node, a core.Assignment) (float64, error) {
+	ms, ok := p.Models[n.Role]
+	if !ok {
+		return 0, fmt.Errorf("search: role %q has no model", n.Role)
+	}
+	mc, ok := e.Costers[n.Role]
+	if !ok {
+		return 0, fmt.Errorf("search: role %q has no coster", n.Role)
+	}
+	spec := gpumodel.CallSpec{
+		Cfg: ms.Cfg, IsCritic: ms.IsCritic, Type: n.Type, Work: n.Work,
+		Strategy: a.Strategy, Mesh: a.Mesh,
+	}
+	t := gpumodel.AssembleCall(mc, e.Comm, spec).Total()
+	static := memory.Static(ms.Params(), a.Strategy, memory.StaticOpts{
+		Trainable: ms.Trainable, ShardOptimizerOverDP: true,
+	})
+	if memory.Active(spec)+static > p.Cluster.GPU.MemoryBytes {
+		t *= estimator.OOMPenalty
+	}
+	return t, nil
+}
+
+// nodeOfName returns a representative dfg node for each distinct call name.
+func nodesByName(p *core.Plan) map[string]*dfg.Node {
+	out := map[string]*dfg.Node{}
+	for _, n := range p.Graph.Nodes {
+		if _, ok := out[n.Name]; !ok {
+			out[n.Name] = n
+		}
+	}
+	return out
+}
+
+// shortlist keeps the topK individually fastest candidates of each call.
+// With dedupeLayouts set, only the best micro-batch variant of each
+// (mesh, dp, tp, pp) layout survives, so a small K still spans genuinely
+// different memory/speed trade-offs — essential for the exhaustive search,
+// where K same-layout variants would make every joint combination inherit
+// the same static-memory footprint.
+func shortlist(e *estimator.Estimator, p *core.Plan, sets map[string][]core.Assignment, topK int, dedupeLayouts bool) (map[string][]core.Assignment, float64, error) {
+	byName := nodesByName(p)
+	out := map[string][]core.Assignment{}
+	var log10 float64
+	for name, cands := range sets {
+		n := byName[name]
+		type scored struct {
+			a core.Assignment
+			t float64
+		}
+		all := make([]scored, 0, len(cands))
+		for _, a := range cands {
+			t, err := callTime(e, p, n, a)
+			if err != nil {
+				continue
+			}
+			all = append(all, scored{a, t})
+		}
+		if len(all) == 0 {
+			return nil, 0, fmt.Errorf("search: no costable assignment for %q", name)
+		}
+		sort.Slice(all, func(x, y int) bool { return all[x].t < all[y].t })
+		if dedupeLayouts {
+			seen := map[core.Assignment]bool{}
+			dedup := all[:0]
+			for _, s := range all {
+				key := s.a
+				key.Strategy.MicroBatches = 0
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				dedup = append(dedup, s)
+			}
+			all = dedup
+		}
+		if topK > 0 && len(all) > topK {
+			all = all[:topK]
+		}
+		list := make([]core.Assignment, len(all))
+		for i, s := range all {
+			list[i] = s.a
+		}
+		out[name] = list
+		log10 += math.Log10(float64(len(list)))
+	}
+	return out, log10, nil
+}
+
+// Greedy builds the paper's seed plan p₀: every call independently takes the
+// assignment minimizing its own estimated duration, ignoring overlap and
+// memory (§5.2 notes this seed is usually sub-optimal for exactly those
+// reasons).
+func Greedy(e *estimator.Estimator, p *core.Plan, lvl PruneLevel) (*core.Plan, error) {
+	sets, _, err := candidateSets(p, lvl)
+	if err != nil {
+		return nil, err
+	}
+	byName := nodesByName(p)
+	out := p.Clone()
+	for name, n := range byName {
+		best := math.Inf(1)
+		var bestA core.Assignment
+		for _, a := range sets[name] {
+			t, err := callTime(e, p, n, a)
+			if err != nil {
+				continue
+			}
+			if t < best {
+				best, bestA = t, a
+			}
+		}
+		if math.IsInf(best, 1) {
+			return nil, fmt.Errorf("search: no costable assignment for %q", name)
+		}
+		out.Assign[name] = bestA
+	}
+	return out, nil
+}
+
+// Search runs Metropolis–Hastings from the greedy seed and returns the best
+// plan observed along the chain.
+func Search(e *estimator.Estimator, p *core.Plan, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	sets, spaceLog10, err := candidateSets(p, opt.Prune)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxCandidatesPerCall > 0 {
+		sets, spaceLog10, err = shortlist(e, p, sets, opt.MaxCandidatesPerCall, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	names := make([]string, 0, len(sets))
+	for name := range sets {
+		if len(opt.RestrictCalls) > 0 && !contains(opt.RestrictCalls, name) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("search: no calls to search over")
+	}
+
+	var cur *core.Plan
+	if opt.InitialPlan != nil {
+		cur = opt.InitialPlan.Clone()
+	} else {
+		cur, err = Greedy(e, p, opt.Prune)
+		if err != nil {
+			return nil, err
+		}
+	}
+	curRes, err := e.Evaluate(cur)
+	if err != nil {
+		return nil, err
+	}
+	// Warm starts: adopt the cheapest of the greedy seed and any candidate
+	// plans the caller supplies.
+	for _, seed := range opt.SeedCandidates {
+		if seed == nil {
+			continue
+		}
+		sr, err := e.Evaluate(seed)
+		if err != nil {
+			continue
+		}
+		if sr.Cost < curRes.Cost {
+			cur, curRes = seed.Clone(), sr
+		}
+	}
+	adaptiveBeta := opt.Beta == 0
+	beta := opt.Beta
+	if adaptiveBeta {
+		beta = 10 / math.Max(curRes.Cost, 1e-9)
+	}
+
+	best := cur.Clone()
+	bestRes := curRes
+	res := &Result{SpaceLog10: spaceLog10}
+	res.Trace = append(res.Trace, ProgressPoint{Elapsed: time.Since(start), Step: 0, BestCost: bestRes.Cost})
+
+	curCost := curRes.Cost
+	for step := 1; ; step++ {
+		if opt.MaxSteps > 0 && step > opt.MaxSteps {
+			break
+		}
+		if opt.MaxSteps == 0 && time.Since(start) > opt.TimeLimit {
+			break
+		}
+		// Propose: re-draw one call's assignment uniformly.
+		name := names[rng.Intn(len(names))]
+		cands := sets[name]
+		next := cur.Clone()
+		next.Assign[name] = cands[rng.Intn(len(cands))]
+		nextRes, err := e.Evaluate(next)
+		if err != nil {
+			continue
+		}
+		res.Steps = step
+		accept := nextRes.Cost <= curCost ||
+			rng.Float64() < math.Exp(-beta*(nextRes.Cost-curCost))
+		if accept {
+			cur, curCost = next, nextRes.Cost
+			res.Accepted++
+			if nextRes.Cost < bestRes.Cost {
+				best, bestRes = next, nextRes
+				if adaptiveBeta {
+					// Keep the temperature matched to the current cost
+					// scale: an OOM-penalized seed would otherwise leave β
+					// so small that the chain random-walks forever.
+					beta = 10 / math.Max(bestRes.Cost, 1e-9)
+				}
+				res.Trace = append(res.Trace, ProgressPoint{
+					Elapsed: time.Since(start), Step: step, BestCost: bestRes.Cost,
+				})
+			}
+		}
+		if step%opt.ProgressEvery == 0 {
+			res.Trace = append(res.Trace, ProgressPoint{
+				Elapsed: time.Since(start), Step: step, BestCost: bestRes.Cost,
+			})
+		}
+	}
+	res.Plan = best
+	res.Cost = bestRes.Cost
+	res.Estimate = bestRes
+	return res, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// BruteForce approximates the exhaustive optimum of Fig. 15 on small
+// clusters: for every call it shortlists the topK fastest individual
+// assignments, then evaluates the full cross product. (A literal exhaustive
+// enumeration over all ~10¹⁵ joint plans is infeasible even on 8 GPUs; the
+// shortlist preserves the optimum whenever the best joint plan is composed
+// of individually competitive assignments, which Fig. 15 shows holds in
+// practice.)
+func BruteForce(e *estimator.Estimator, p *core.Plan, topK int) (*Result, error) {
+	if topK <= 0 {
+		topK = 6
+	}
+	sets, spaceLog10, err := candidateSets(p, PruneNone)
+	if err != nil {
+		return nil, err
+	}
+	listed, _, err := shortlist(e, p, sets, topK, true)
+	if err != nil {
+		return nil, err
+	}
+	names := p.CallNames()
+	short := make([][]core.Assignment, len(names))
+	for i, name := range names {
+		short[i] = listed[name]
+	}
+
+	best := math.Inf(1)
+	var bestPlan *core.Plan
+	var bestRes *estimator.Result
+	idx := make([]int, len(names))
+	steps := 0
+	for {
+		trial := p.Clone()
+		for i, name := range names {
+			trial.Assign[name] = short[i][idx[i]]
+		}
+		if r, err := e.Evaluate(trial); err == nil {
+			steps++
+			if r.Cost < best {
+				best, bestPlan, bestRes = r.Cost, trial, r
+			}
+		}
+		// Advance the mixed-radix counter.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(short[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			break
+		}
+	}
+	if bestPlan == nil {
+		return nil, fmt.Errorf("search: brute force found no feasible plan")
+	}
+	return &Result{Plan: bestPlan, Cost: best, Estimate: bestRes, Steps: steps, SpaceLog10: spaceLog10}, nil
+}

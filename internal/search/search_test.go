@@ -1,0 +1,230 @@
+package search
+
+import (
+	"testing"
+	"time"
+
+	"realhf/internal/core"
+	"realhf/internal/dfg"
+	"realhf/internal/estimator"
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/mesh"
+	"realhf/internal/model"
+	"realhf/internal/parallel"
+)
+
+func newProblem(t *testing.T, nodes int, actor, critic model.Config, batch, prompt, gen int) (*core.Plan, *estimator.Estimator) {
+	t.Helper()
+	cluster := hardware.DefaultCluster(nodes)
+	g := dfg.BuildPPO(dfg.Spec{Batch: batch, PromptLen: prompt, GenLen: gen, Iterations: 1})
+	p := core.NewPlan(cluster, g, core.PPOModels(actor, critic))
+	costers := map[dfg.Role]gpumodel.ModelCoster{}
+	for role, ms := range p.Models {
+		costers[role] = gpumodel.NewOracle(cluster, ms.Cfg)
+	}
+	return p, estimator.New(cluster, costers)
+}
+
+func TestGreedyProducesValidPlan(t *testing.T) {
+	p, e := newProblem(t, 2, model.LLaMA7B, model.LLaMA7B, 256, 512, 512)
+	seed, err := Greedy(e, p, PruneNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Validate(); err != nil {
+		t.Fatalf("greedy plan invalid: %v", err)
+	}
+	if _, err := e.Evaluate(seed); err != nil {
+		t.Fatalf("greedy plan unevaluable: %v", err)
+	}
+}
+
+func TestSearchImprovesOnGreedy(t *testing.T) {
+	p, e := newProblem(t, 2, model.LLaMA7B, model.LLaMA7B, 256, 512, 512)
+	seed, err := Greedy(e, p, PruneNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedRes, err := e.Evaluate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(e, p, Options{MaxSteps: 1500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > seedRes.Cost {
+		t.Errorf("search (%.3f) must never be worse than its seed (%.3f)", res.Cost, seedRes.Cost)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatalf("searched plan invalid: %v", err)
+	}
+	if res.Estimate.OOM {
+		t.Error("searched plan should be memory-feasible when feasible plans exist")
+	}
+}
+
+func TestSearchDeterministicWithSeed(t *testing.T) {
+	p, e := newProblem(t, 1, model.LLaMA7B, model.LLaMA7B, 128, 256, 256)
+	a, err := Search(e, p, Options{MaxSteps: 400, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(e, p, Options{MaxSteps: 400, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || a.Plan.Signature() != b.Plan.Signature() {
+		t.Error("same seed must reproduce the same search outcome")
+	}
+}
+
+func TestSearchTraceMonotone(t *testing.T) {
+	p, e := newProblem(t, 2, model.LLaMA7B, model.LLaMA7B, 256, 512, 512)
+	res, err := Search(e, p, Options{MaxSteps: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("empty search trace")
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].BestCost > res.Trace[i-1].BestCost+1e-12 {
+			t.Fatalf("best cost increased along trace: %v -> %v",
+				res.Trace[i-1].BestCost, res.Trace[i].BestCost)
+		}
+	}
+	if res.Trace[len(res.Trace)-1].BestCost != res.Cost {
+		t.Error("final trace point must match result cost")
+	}
+}
+
+func TestSearchBeatsSymmetricHeuristic(t *testing.T) {
+	// The headline claim: the searched plan outperforms a symmetric
+	// full-cluster plan for a 7B+7B PPO iteration on 2 nodes.
+	p, e := newProblem(t, 2, model.LLaMA7B, model.LLaMA7B, 512, 1024, 1024)
+	sym := p.Clone()
+	full := mesh.Full(p.Cluster)
+	st := parallel.Strategy{DP: 2, TP: 8, PP: 1, MicroBatches: 4}
+	for _, name := range sym.CallNames() {
+		sym.Assign[name] = core.Assignment{Mesh: full, Strategy: st}
+	}
+	symRes, err := e.Evaluate(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(e, p, Options{MaxSteps: 2500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost >= symRes.Cost {
+		t.Errorf("searched plan (%.1fs) should beat the symmetric plan (%.1fs)",
+			res.Cost, symRes.Cost)
+	}
+}
+
+func TestCandidatesRespectPruning(t *testing.T) {
+	p, _ := newProblem(t, 4, model.LLaMA7B, model.LLaMA7B, 256, 512, 512)
+	var genNode *dfg.Node
+	for _, n := range p.Graph.Nodes {
+		if n.Name == "ActorGen" {
+			genNode = n
+		}
+	}
+	none := candidates(p, genNode, PruneNone)
+	moderate := candidates(p, genNode, PruneModerate)
+	aggressive := candidates(p, genNode, PruneAggressive)
+	if len(moderate) >= len(none) {
+		t.Errorf("moderate pruning did not shrink the space: %d vs %d", len(moderate), len(none))
+	}
+	if len(aggressive) >= len(moderate) {
+		t.Errorf("aggressive pruning did not shrink further: %d vs %d", len(aggressive), len(moderate))
+	}
+	for _, a := range none {
+		if a.Strategy.TP > p.Cluster.GPUsPerNode {
+			t.Fatal("cross-node TP must always be pruned")
+		}
+	}
+	for _, a := range moderate {
+		if a.Mesh.Count > p.Cluster.GPUsPerNode {
+			span := a.Mesh.Count / p.Cluster.GPUsPerNode
+			if span&(span-1) != 0 {
+				t.Fatalf("moderate pruning admitted non-power-of-two span %d", span)
+			}
+		}
+	}
+	for _, a := range aggressive {
+		if a.Strategy.PP > 16 || a.Strategy.MicroBatches > 8 {
+			t.Fatalf("aggressive pruning admitted %v", a.Strategy)
+		}
+	}
+}
+
+func TestShortlistCapsSpace(t *testing.T) {
+	p, e := newProblem(t, 2, model.LLaMA7B, model.LLaMA7B, 256, 512, 512)
+	res, err := Search(e, p, Options{MaxSteps: 200, Seed: 1, MaxCandidatesPerCall: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 calls × ≤10 candidates → log10 space ≤ 6.
+	if res.SpaceLog10 > 6.001 {
+		t.Errorf("capped space log10 = %.2f, want <= 6", res.SpaceLog10)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteForceFindsAtLeastSearchQuality(t *testing.T) {
+	// On one node with a small workload, the shortlisted exhaustive search
+	// must be at least as good as a short MCMC run (it is the Fig. 15
+	// optimality reference).
+	p, e := newProblem(t, 1, model.LLaMA7B, model.LLaMA7B, 64, 256, 256)
+	bf, err := BruteForce(e, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Search(e, p, Options{MaxSteps: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Cost > mc.Cost*1.02 {
+		t.Errorf("brute force (%.3f) should not lose to a short MCMC run (%.3f)", bf.Cost, mc.Cost)
+	}
+	if err := bf.Plan.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchTimeLimit(t *testing.T) {
+	p, e := newProblem(t, 1, model.LLaMA7B, model.LLaMA7B, 64, 256, 256)
+	start := time.Now()
+	_, err := Search(e, p, Options{TimeLimit: 150 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("search ran %v, far beyond its 150ms budget", elapsed)
+	}
+}
+
+func TestSearchedPlanUsesAsymmetry(t *testing.T) {
+	// With similar-size actor and critic (paper Fig. 9, 7B+7B case), a good
+	// plan separates actor and critic training onto disjoint resources or
+	// at least differentiates assignments; verify the searched plan is not
+	// fully symmetric.
+	p, e := newProblem(t, 2, model.LLaMA7B, model.LLaMA7B, 512, 1024, 1024)
+	res, err := Search(e, p, Options{MaxSteps: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigns := map[string]bool{}
+	for _, name := range res.Plan.CallNames() {
+		a := res.Plan.Assign[name]
+		assigns[a.String()] = true
+	}
+	if len(assigns) < 2 {
+		t.Error("searched plan collapsed to a single symmetric assignment")
+	}
+}

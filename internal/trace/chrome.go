@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"realhf/internal/core"
+	"realhf/internal/runtime"
+)
+
+// chromeEvent is one entry of the Chrome/Perfetto trace-event format
+// ("X" complete events with microsecond timestamps).
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	Phase string `json:"ph"`
+	TS    int64  `json:"ts"`  // start, microseconds
+	Dur   int64  `json:"dur"` // duration, microseconds
+	PID   int    `json:"pid"`
+	TID   int    `json:"tid"`
+}
+
+// ExportChromeTrace writes a runtime report's timeline as a Chrome
+// trace-event JSON file (load it in chrome://tracing or Perfetto). Each
+// executed node becomes one complete event; the "thread" lane is the first
+// GPU of the node's mesh, so concurrent calls on disjoint meshes render as
+// parallel tracks.
+func ExportChromeTrace(rep *runtime.Report, plan *core.Plan, path string) error {
+	var events []chromeEvent
+	for _, span := range rep.Timeline {
+		lane := 0
+		if span.Kind == core.KindCall {
+			// Place call spans on their mesh's first GPU lane.
+			name := span.Label
+			for callName, a := range plan.Assign {
+				if len(name) >= len(callName) && name[:len(callName)] == callName {
+					lane = a.Mesh.First
+					break
+				}
+			}
+		}
+		events = append(events, chromeEvent{
+			Name:  span.Label,
+			Cat:   span.Kind.String(),
+			Phase: "X",
+			TS:    int64(span.StartV * 1e6),
+			Dur:   int64((span.EndV - span.StartV) * 1e6),
+			PID:   1,
+			TID:   lane,
+		})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	data, err := json.MarshalIndent(map[string]any{"traceEvents": events}, "", " ")
+	if err != nil {
+		return fmt.Errorf("trace: marshal chrome trace: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}

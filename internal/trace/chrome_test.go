@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"realhf/internal/baselines"
+	"realhf/internal/core"
+	"realhf/internal/dfg"
+	"realhf/internal/hardware"
+	"realhf/internal/model"
+	"realhf/internal/runtime"
+)
+
+func TestExportChromeTrace(t *testing.T) {
+	hw := hardware.DefaultCluster(2)
+	g := dfg.BuildPPO(dfg.Spec{Batch: 256, PromptLen: 512, GenLen: 512, Iterations: 1})
+	models := core.PPOModels(model.LLaMA7B, model.LLaMA7B)
+	plan, err := baselines.BuildHeuristic(hw, g, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runtime.RunDefault(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := ExportChromeTrace(rep, plan, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    int64  `json:"ts"`
+			Dur   int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(rep.Timeline) {
+		t.Errorf("%d events, want %d", len(doc.TraceEvents), len(rep.Timeline))
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Phase != "X" || e.Dur < 0 || e.TS < 0 {
+			t.Errorf("bad event %d: %+v", i, e)
+		}
+		if i > 0 && e.TS < doc.TraceEvents[i-1].TS {
+			t.Error("events must be sorted by start time")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package trace produces the kernel-level views of the paper's breakdown
+// analysis: simplified per-layer kernel traces (Fig. 10) and the GPU-time
+// decomposition into compute, P2P communication, collective communication,
+// and idle/bubble time (Fig. 11).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"realhf/internal/core"
+	"realhf/internal/estimator"
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/model"
+	"realhf/internal/parallel"
+)
+
+// Segment is one labeled span of a simplified kernel trace.
+type Segment struct {
+	Name     string
+	Duration float64 // seconds
+}
+
+// Segments is an ordered kernel trace.
+type Segments []Segment
+
+// Total sums the trace.
+func (s Segments) Total() float64 {
+	var t float64
+	for _, seg := range s {
+		t += seg.Duration
+	}
+	return t
+}
+
+// String renders the trace in the style of Fig. 10.
+func (s Segments) String() string {
+	var b strings.Builder
+	for i, seg := range s {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%s %.0fus", seg.Name, seg.Duration*1e6)
+	}
+	return b.String()
+}
+
+// DecodeLayerTrace reproduces the Fig. 10 (top) view: the per-layer spans of
+// one decoding step under a given strategy — the sliced attention+MLP
+// forward, the tensor-parallel all-reduce, and the pipeline send/recv and
+// synchronization overhead.
+func DecodeLayerTrace(hw hardware.Cluster, cfg model.Config, st parallel.Strategy, batch, pos int, cudaGraph bool) Segments {
+	o := gpumodel.NewOracle(hw, cfg)
+	o.UseCUDAGraph = cudaGraph
+	comm := gpumodel.Comm{HW: hw}
+	fwd := o.LayerDecode(st.TP, batch, pos)
+	arBytes := int64(batch) * int64(cfg.HiddenSize) * model.BytesPerParam
+	ar := comm.AllReduce(arBytes, st.TP, false) + 25e-6*float64(st.TP)
+	var pp float64
+	if st.PP > 1 {
+		pp = comm.P2P(arBytes, true) + hw.Net.CollectiveSyncOverhead*float64(st.PP)
+	}
+	out := Segments{
+		{Name: fmt.Sprintf("1/%d Attn+MLP Fwd", st.TP), Duration: fwd},
+		{Name: fmt.Sprintf("TP=%d All-Reduce", st.TP), Duration: ar},
+	}
+	if st.PP > 1 {
+		out = append(out, Segment{Name: "PP Send/Recv & Sync", Duration: pp})
+	}
+	return out
+}
+
+// TrainLayerTrace reproduces the Fig. 10 (bottom) view: per-layer spans of a
+// training forward pass over `tokens` tokens per micro-batch.
+func TrainLayerTrace(hw hardware.Cluster, cfg model.Config, st parallel.Strategy, tokens int64, span float64) Segments {
+	o := gpumodel.NewOracle(hw, cfg)
+	comm := gpumodel.Comm{HW: hw}
+	fwd := o.LayerFwd(st.TP, tokens, span)
+	arBytes := tokens * int64(cfg.HiddenSize) * model.BytesPerParam
+	ar := comm.AllReduce(arBytes, st.TP, false)
+	out := Segments{
+		{Name: fmt.Sprintf("1/%d Attn+MLP Fwd", st.TP), Duration: fwd},
+		{Name: fmt.Sprintf("TP=%d Scatter-Reduce/All-Gather", st.TP), Duration: ar},
+	}
+	if st.PP > 1 {
+		out = append(out, Segment{Name: "PP Send/Recv", Duration: comm.P2P(arBytes, true)})
+	}
+	return out
+}
+
+// Fractions is the Fig. 11 decomposition of an iteration's total GPU time.
+// The four components sum to 1.
+type Fractions struct {
+	Compute  float64
+	P2PComm  float64
+	CollComm float64
+	Idle     float64
+}
+
+func (f Fractions) String() string {
+	return fmt.Sprintf("compute %.0f%% | p2p %.0f%% | coll %.0f%% | idle %.0f%%",
+		100*f.Compute, 100*f.P2PComm, 100*f.CollComm, 100*f.Idle)
+}
+
+// PlanFractions decomposes a plan's estimated iteration into the Fig. 11
+// kernel categories. Bubble time inside calls and gaps between calls both
+// count as idle; data transfer and parameter reallocation count as
+// collective communication (the paper observes they are negligible and
+// omits them from the figure).
+func PlanFractions(e *estimator.Estimator, p *core.Plan, res *estimator.Result) (Fractions, error) {
+	var compute, p2p, coll, busy float64
+	for _, sn := range res.Timeline {
+		gpus := 0
+		for _, m := range sn.Node.Meshes {
+			gpus += m.NumGPUs()
+		}
+		g := float64(gpus)
+		switch sn.Node.Kind {
+		case core.KindCall:
+			bd, err := e.CallBreakdown(p, sn.Node.Call)
+			if err != nil {
+				return Fractions{}, err
+			}
+			compute += bd.Compute * g
+			p2p += bd.PPComm * g
+			coll += (bd.TPComm + bd.DPComm) * g
+			busy += (bd.Compute + bd.PPComm + bd.TPComm + bd.DPComm) * g
+		default:
+			coll += sn.Duration * g
+			busy += sn.Duration * g
+		}
+	}
+	total := res.TimeCost * float64(p.Cluster.NumGPUs())
+	if total <= 0 {
+		return Fractions{}, fmt.Errorf("trace: empty timeline")
+	}
+	idle := total - busy
+	if idle < 0 {
+		idle = 0
+	}
+	norm := compute + p2p + coll + idle
+	return Fractions{
+		Compute:  compute / norm,
+		P2PComm:  p2p / norm,
+		CollComm: coll / norm,
+		Idle:     idle / norm,
+	}, nil
+}

@@ -1,0 +1,368 @@
+// Package realhf is a Go reproduction of ReaL ("ReaL: Efficient RLHF
+// Training of Large Language Models with Parameter Reallocation", MLSys
+// 2025): an RLHF training system that searches for an execution plan —
+// a device mesh and 3D-parallelization strategy per model function call,
+// with parameters reallocated between calls — and executes it with a
+// master/model-worker runtime engine.
+//
+// The public API mirrors the paper's user interface (Fig. 18): an
+// experiment is a list of ModelFunctionCallDef values wired together by
+// named data dependencies; Auto derives an efficient execution plan via
+// MCMC search over a profiling-backed cost model, and Run executes it.
+// Physical GPUs are replaced by a calibrated analytic cluster model (see
+// DESIGN.md); every system layer above the kernels — planner, estimator,
+// reallocation, runtime protocol — runs for real.
+//
+//	exp, err := realhf.Auto(realhf.ExperimentConfig{
+//	    Nodes:     2,
+//	    BatchSize: 512,
+//	    PromptLen: 1024,
+//	    GenLen:    1024,
+//	    RPCs:      realhf.PPORPCs("llama7b", "llama7b-critic"),
+//	})
+//	report, err := exp.Run()
+package realhf
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"realhf/internal/baselines"
+	"realhf/internal/core"
+	"realhf/internal/dfg"
+	"realhf/internal/estimator"
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/model"
+	"realhf/internal/runtime"
+	"realhf/internal/search"
+)
+
+// InterfaceType is the kind of computation a model function call performs.
+type InterfaceType int
+
+// The three interface types of §2.1.
+const (
+	Generate InterfaceType = iota
+	Inference
+	TrainStep
+)
+
+func (t InterfaceType) String() string {
+	switch t {
+	case Generate:
+		return "GENERATE"
+	case Inference:
+		return "INFERENCE"
+	case TrainStep:
+		return "TRAIN_STEP"
+	}
+	return fmt.Sprintf("InterfaceType(%d)", int(t))
+}
+
+// ModelFunctionCallDef declares one model function call, following the
+// paper's Python API: models sharing ModelName share parameters; InputData
+// names the data the call consumes and OutputData what it produces, which
+// together induce the dataflow graph.
+type ModelFunctionCallDef struct {
+	// Name optionally overrides the call's display name; defaults to
+	// "<ModelName>/<InterfaceType>".
+	Name string
+	// ModelName identifies the LLM ("actor", "critic", "ref", "reward").
+	ModelName string
+	// ModelType names the architecture: "llama7b", "llama13b", "llama34b",
+	// "llama70b", with an optional "-critic" suffix for scalar-head models.
+	ModelType string
+	// InterfaceType selects generation, inference, or training.
+	InterfaceType InterfaceType
+	// InputData and OutputData wire the dataflow graph.
+	InputData  []string
+	OutputData []string
+}
+
+// ExperimentConfig describes one RLHF experiment, the input to Auto.
+type ExperimentConfig struct {
+	// Nodes is the number of 8-GPU hosts (the paper's testbed shape).
+	Nodes int
+	// GPUsPerNode overrides the default of 8.
+	GPUsPerNode int
+	// BatchSize is the global number of prompts per iteration.
+	BatchSize int
+	// PromptLen and GenLen are per-sequence token counts.
+	PromptLen, GenLen int
+	// MiniBatches is the PPO mini-batch count for TrainStep calls
+	// (default 8, after InstructGPT).
+	MiniBatches int
+	// Iterations concatenates multiple RLHF iterations into one dataflow
+	// graph (default 1), enabling cross-iteration overlap.
+	Iterations int
+	// RPCs is the workflow definition.
+	RPCs []ModelFunctionCallDef
+
+	// SearchSteps bounds the MCMC search (default 4000).
+	SearchSteps int
+	// SearchTime optionally bounds search wall time instead.
+	SearchTime time.Duration
+	// Seed fixes the search RNG (default 1).
+	Seed int64
+}
+
+func (c ExperimentConfig) withDefaults() ExperimentConfig {
+	if c.GPUsPerNode == 0 {
+		c.GPUsPerNode = 8
+	}
+	if c.MiniBatches == 0 {
+		c.MiniBatches = 8
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 1
+	}
+	if c.SearchSteps == 0 && c.SearchTime == 0 {
+		c.SearchSteps = 4000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// PPORPCs returns the standard PPO workflow of Fig. 4: actor generation,
+// reward/ref/critic inference, and actor/critic training.
+func PPORPCs(actorType, criticType string) []ModelFunctionCallDef {
+	return []ModelFunctionCallDef{
+		{ModelName: "actor", ModelType: actorType, InterfaceType: Generate,
+			InputData: []string{"prompts"}, OutputData: []string{"seq", "logp"}},
+		{ModelName: "reward", ModelType: criticType, InterfaceType: Inference,
+			InputData: []string{"seq"}, OutputData: []string{"r"}},
+		{ModelName: "ref", ModelType: actorType, InterfaceType: Inference,
+			InputData: []string{"seq"}, OutputData: []string{"ref_logp"}},
+		{ModelName: "critic", ModelType: criticType, InterfaceType: Inference,
+			InputData: []string{"seq"}, OutputData: []string{"v"}},
+		{ModelName: "actor", ModelType: actorType, InterfaceType: TrainStep,
+			InputData: []string{"seq", "logp", "ref_logp", "r", "v"}},
+		{ModelName: "critic", ModelType: criticType, InterfaceType: TrainStep,
+			InputData: []string{"seq", "r", "v", "ref_logp", "logp"}},
+	}
+}
+
+// parseModelType resolves a ModelType string.
+func parseModelType(s string) (model.Config, bool, error) {
+	critic := strings.HasSuffix(s, "-critic")
+	name := strings.TrimSuffix(s, "-critic")
+	name = strings.TrimPrefix(name, "llama")
+	cfg, err := model.ByName(name)
+	if err != nil {
+		return model.Config{}, false, fmt.Errorf("realhf: bad ModelType %q: %w", s, err)
+	}
+	return cfg, critic, nil
+}
+
+// buildGraph lowers RPC definitions into the internal dataflow graph.
+func buildGraph(c ExperimentConfig) (*dfg.Graph, map[dfg.Role]core.ModelSpec, error) {
+	if len(c.RPCs) == 0 {
+		return nil, nil, fmt.Errorf("realhf: experiment has no RPCs")
+	}
+	g := dfg.NewGraph("custom")
+	models := map[dfg.Role]core.ModelSpec{}
+
+	type produced struct{ node *dfg.Node }
+	var prevTrain map[dfg.Role]*dfg.Node
+
+	for iter := 0; iter < c.Iterations; iter++ {
+		producers := map[string]produced{}
+		var nodes []*dfg.Node
+		// First pass: create nodes and record outputs.
+		for _, rpc := range c.RPCs {
+			cfg, critic, err := parseModelType(rpc.ModelType)
+			if err != nil {
+				return nil, nil, err
+			}
+			role := dfg.Role(rpc.ModelName)
+			ms, ok := models[role]
+			if !ok {
+				ms = core.ModelSpec{Role: role, Cfg: cfg, IsCritic: critic}
+			} else if ms.Cfg.Name != cfg.Name {
+				return nil, nil, fmt.Errorf("realhf: model %q declared with types %q and %q",
+					rpc.ModelName, ms.Cfg.Name, cfg.Name)
+			}
+			name := rpc.Name
+			if name == "" {
+				name = fmt.Sprintf("%s/%s", rpc.ModelName, rpc.InterfaceType)
+			}
+			var typ dfg.CallType
+			work := dfg.Workload{Batch: c.BatchSize, PromptLen: c.PromptLen, GenLen: c.GenLen}
+			switch rpc.InterfaceType {
+			case Generate:
+				typ = dfg.Generate
+			case Inference:
+				typ = dfg.Inference
+			case TrainStep:
+				typ = dfg.Train
+				work.MiniBatches = c.MiniBatches
+				ms.Trainable = true
+			default:
+				return nil, nil, fmt.Errorf("realhf: bad interface type %v", rpc.InterfaceType)
+			}
+			models[role] = ms
+			n := g.AddNode(name, role, typ, iter, work)
+			nodes = append(nodes, n)
+			for _, out := range rpc.OutputData {
+				producers[out] = produced{node: n}
+			}
+		}
+		// Second pass: wire data dependencies within the iteration
+		// (deduplicated: several named tensors may flow along one edge).
+		for i, rpc := range c.RPCs {
+			wired := map[int]bool{}
+			for _, in := range rpc.InputData {
+				p, ok := producers[in]
+				if !ok || p.node == nodes[i] || wired[p.node.ID] {
+					continue
+				}
+				wired[p.node.ID] = true
+				g.AddEdge(p.node, nodes[i])
+			}
+		}
+		// Parameter-version edges from the previous iteration's training.
+		for i, rpc := range c.RPCs {
+			role := dfg.Role(rpc.ModelName)
+			if prev, ok := prevTrain[role]; ok && prev != nil {
+				g.AddEdge(prev, nodes[i])
+			}
+		}
+		prevTrain = map[dfg.Role]*dfg.Node{}
+		for i, rpc := range c.RPCs {
+			if rpc.InterfaceType == TrainStep {
+				prevTrain[dfg.Role(rpc.ModelName)] = nodes[i]
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return g, models, nil
+}
+
+// Experiment is a planned RLHF experiment ready to run.
+type Experiment struct {
+	Config  ExperimentConfig
+	Cluster hardware.Cluster
+	Plan    *core.Plan
+	// Estimate is the planner's prediction for the chosen plan.
+	Estimate *estimator.Result
+	// SearchTrace records the planner's convergence.
+	SearchTrace []search.ProgressPoint
+
+	est *estimator.Estimator
+}
+
+// Auto builds the experiment and searches for an efficient execution plan —
+// the analogue of the paper's @auto decorator.
+func Auto(cfg ExperimentConfig) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("realhf: Nodes must be positive")
+	}
+	hw := hardware.DefaultCluster(cfg.Nodes)
+	hw.GPUsPerNode = cfg.GPUsPerNode
+	g, models, err := buildGraph(cfg)
+	if err != nil {
+		return nil, err
+	}
+	costers := map[dfg.Role]gpumodel.ModelCoster{}
+	for role, ms := range models {
+		costers[role] = gpumodel.NewOracle(hw, ms.Cfg)
+	}
+	est := estimator.New(hw, costers)
+	plan := core.NewPlan(hw, g, models)
+	var seeds []*core.Plan
+	if heur, err := baselines.BuildHeuristic(hw, g, models); err == nil {
+		seeds = append(seeds, heur)
+	}
+	res, err := search.Search(est, plan, search.Options{
+		MaxSteps:       cfg.SearchSteps,
+		TimeLimit:      cfg.SearchTime,
+		Seed:           cfg.Seed,
+		SeedCandidates: seeds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{
+		Config: cfg, Cluster: hw, Plan: res.Plan,
+		Estimate: res.Estimate, SearchTrace: res.Trace, est: est,
+	}, nil
+}
+
+// Heuristic builds the same experiment with the pre-training-style symmetric
+// 3D plan instead of a searched one (the paper's REAL-Heuristic baseline).
+func Heuristic(cfg ExperimentConfig) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	hw := hardware.DefaultCluster(cfg.Nodes)
+	hw.GPUsPerNode = cfg.GPUsPerNode
+	g, models, err := buildGraph(cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := baselines.BuildHeuristic(hw, g, models)
+	if err != nil {
+		return nil, err
+	}
+	costers := map[dfg.Role]gpumodel.ModelCoster{}
+	for role, ms := range models {
+		costers[role] = gpumodel.NewOracle(hw, ms.Cfg)
+	}
+	est := estimator.New(hw, costers)
+	res, err := est.Evaluate(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{Config: cfg, Cluster: hw, Plan: plan, Estimate: res, est: est}, nil
+}
+
+// RunReport summarizes an executed experiment.
+type RunReport struct {
+	// IterationTime is the virtual wall time of one RLHF iteration.
+	IterationTime float64
+	// ThroughputPFLOPs is the paper's end-to-end metric.
+	ThroughputPFLOPs float64
+	// CallTimes breaks the iteration into per-call durations.
+	CallTimes map[string]float64
+	// CommTime is the total parameter-reallocation/data-transfer time.
+	CommTime float64
+	// OOM reports whether the plan ran out of device memory.
+	OOM bool
+	// Errors carries worker diagnostics for failed runs.
+	Errors []string
+}
+
+// Run executes the experiment's plan on the simulated cluster through the
+// runtime engine (master worker + per-GPU model workers).
+func (e *Experiment) Run() (*RunReport, error) {
+	rep, err := runtime.RunDefault(e.Plan)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunReport{
+		IterationTime: rep.IterTime(),
+		CallTimes:     rep.CallTimes,
+		CommTime:      rep.CommTimeV,
+		OOM:           rep.OOM,
+		Errors:        rep.Errors,
+	}
+	if !rep.OOM {
+		out.ThroughputPFLOPs = estimator.Throughput(e.Plan, rep.MakespanV)
+	}
+	return out, nil
+}
+
+// PlanTable renders the execution plan in the format of paper Tables 2–5,
+// with estimated per-call durations.
+func (e *Experiment) PlanTable() string {
+	var times map[string]float64
+	if e.Estimate != nil {
+		times = e.Estimate.CallTimes
+	}
+	return e.Plan.Table(times)
+}

@@ -1,0 +1,190 @@
+package realhf
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Nodes: 2, BatchSize: 256, PromptLen: 512, GenLen: 512,
+		RPCs: PPORPCs("llama7b", "llama7b-critic"), SearchSteps: 800, Seed: 7,
+	}
+}
+
+func TestAutoProducesRunnablePlan(t *testing.T) {
+	exp, err := Auto(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Plan.Validate(); err != nil {
+		t.Fatalf("auto plan invalid: %v", err)
+	}
+	if exp.Estimate.OOM {
+		t.Error("auto plan should be memory-feasible")
+	}
+	rep, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OOM {
+		t.Fatalf("run OOMed: %v", rep.Errors)
+	}
+	if rep.IterationTime <= 0 || rep.ThroughputPFLOPs <= 0 {
+		t.Errorf("bad report: %+v", rep)
+	}
+	if len(rep.CallTimes) != 6 {
+		t.Errorf("expected 6 calls, got %d", len(rep.CallTimes))
+	}
+}
+
+func TestAutoBeatsHeuristic(t *testing.T) {
+	cfg := quickConfig()
+	cfg.BatchSize = 512
+	cfg.PromptLen, cfg.GenLen = 1024, 1024
+	cfg.SearchSteps = 2000
+	auto, err := Auto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur, err := Heuristic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := auto.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := heur.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.IterationTime > hr.IterationTime {
+		t.Errorf("auto (%.1fs) lost to heuristic (%.1fs)", ar.IterationTime, hr.IterationTime)
+	}
+}
+
+func TestPPORPCsWiring(t *testing.T) {
+	rpcs := PPORPCs("llama7b", "llama7b-critic")
+	if len(rpcs) != 6 {
+		t.Fatalf("PPO has %d RPCs, want 6", len(rpcs))
+	}
+	cfg := quickConfig()
+	g, models, err := buildGraph(cfg.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 6 {
+		t.Errorf("graph has %d nodes, want 6", len(g.Nodes))
+	}
+	if !models["actor"].Trainable || !models["critic"].Trainable {
+		t.Error("actor and critic must be trainable")
+	}
+	if models["ref"].Trainable || models["reward"].Trainable {
+		t.Error("ref and reward must be frozen")
+	}
+	if !models["critic"].IsCritic || !models["reward"].IsCritic {
+		t.Error("critic-typed models must be scalar-head")
+	}
+	// actor/GENERATE feeds the three inferences and both trainings (its
+	// sequences and log-probs are training inputs).
+	var gen int
+	for _, n := range g.Nodes {
+		if n.Name == "actor/GENERATE" {
+			gen = len(g.Children(n))
+		}
+	}
+	if gen != 5 {
+		t.Errorf("generation feeds %d calls, want 5", gen)
+	}
+}
+
+func TestBuildGraphRejectsBadInput(t *testing.T) {
+	cfg := quickConfig()
+	cfg.RPCs = nil
+	if _, err := Auto(cfg); err == nil {
+		t.Error("empty RPC list must fail")
+	}
+	cfg = quickConfig()
+	cfg.RPCs = append([]ModelFunctionCallDef{}, cfg.RPCs...)
+	cfg.RPCs[0].ModelType = "gpt99"
+	if _, err := Auto(cfg); err == nil {
+		t.Error("unknown model type must fail")
+	}
+	cfg = quickConfig()
+	cfg.RPCs = append([]ModelFunctionCallDef{}, cfg.RPCs...)
+	cfg.RPCs[4] = ModelFunctionCallDef{ModelName: "actor", ModelType: "llama13b",
+		InterfaceType: TrainStep, InputData: []string{"seq"}}
+	if _, err := Auto(cfg); err == nil {
+		t.Error("conflicting architectures for one model must fail")
+	}
+	cfg = quickConfig()
+	cfg.Nodes = 0
+	if _, err := Auto(cfg); err == nil {
+		t.Error("zero nodes must fail")
+	}
+}
+
+func TestMultiIterationGraph(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Iterations = 2
+	cfg.SearchSteps = 300
+	exp, err := Auto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(exp.Plan.Graph.Nodes); got != 12 {
+		t.Errorf("2-iteration graph has %d nodes, want 12", got)
+	}
+	rep, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IterationTime <= 0 {
+		t.Error("per-iteration time must be positive")
+	}
+}
+
+func TestPlanTableRendering(t *testing.T) {
+	exp, err := Auto(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := exp.PlanTable()
+	for _, want := range []string{"actor/GENERATE", "TP", "DP", "PP"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("plan table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestCustomWorkflow(t *testing.T) {
+	// A DPO-style two-call workflow through the public API.
+	cfg := ExperimentConfig{
+		Nodes: 1, BatchSize: 128, PromptLen: 512, GenLen: 512,
+		SearchSteps: 400, Seed: 3,
+		RPCs: []ModelFunctionCallDef{
+			{ModelName: "ref", ModelType: "llama7b", InterfaceType: Inference,
+				InputData: []string{"pairs"}, OutputData: []string{"ref_logp"}},
+			{ModelName: "actor", ModelType: "llama7b", InterfaceType: TrainStep,
+				InputData: []string{"pairs", "ref_logp"}},
+		},
+	}
+	exp, err := Auto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CallTimes) != 2 {
+		t.Errorf("DPO workflow has %d calls, want 2", len(rep.CallTimes))
+	}
+}
+
+func TestInterfaceTypeString(t *testing.T) {
+	if Generate.String() != "GENERATE" || TrainStep.String() != "TRAIN_STEP" {
+		t.Error("InterfaceType strings wrong")
+	}
+}
