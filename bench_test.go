@@ -7,12 +7,14 @@ package realhf
 // full paper scale.
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"realhf/internal/baselines"
 	"realhf/internal/experiments"
 	"realhf/internal/model"
-	"realhf/internal/runtime"
+	realruntime "realhf/internal/runtime"
 	"realhf/internal/search"
 )
 
@@ -269,6 +271,45 @@ func BenchmarkSearchThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelMCMCWallClock compares plan cost at equal wall clock:
+// the sequential single-chain walker versus parallel-mcmc with
+// max(4, GOMAXPROCS) chains under the same TimeLimit. The parallel solver
+// shares one memoized cost cache across chains and reduces to the best
+// chain, so its cost must stay at or below the single chain's (the
+// speedup-x metric stays >= 1); with more cores the gap widens because
+// chains explore concurrently instead of time-sharing.
+func BenchmarkParallelMCMCWallClock(b *testing.B) {
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+	pr, err := experiments.NewProblem(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	limit := time.Second
+	chains := runtime.GOMAXPROCS(0)
+	if chains < 4 {
+		chains = 4
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		single, err := pr.SolveWith("mcmc", search.Options{
+			TimeLimit: limit, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		multi, err := pr.SolveWith("parallel-mcmc", search.Options{
+			TimeLimit: limit, Seed: int64(i + 1), Chains: chains,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(single.Cost, "single-chain-cost-s")
+		b.ReportMetric(multi.Cost, "parallel-cost-s")
+		b.ReportMetric(single.Cost/multi.Cost, "parallel-speedup-x")
+		b.ReportMetric(multi.CacheHitRate()*100, "cache-hit-%")
+	}
+}
+
 // BenchmarkEstimatorEvaluate measures one cost-estimation call — the paper
 // quotes hundreds of microseconds per candidate plan.
 func BenchmarkEstimatorEvaluate(b *testing.B) {
@@ -303,7 +344,7 @@ func BenchmarkRuntimeExecution(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := runtime.RunDefault(plan); err != nil {
+		if _, err := realruntime.RunDefault(plan); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,10 +1,12 @@
 // Command realsearch searches for an execution plan for one RLHF experiment
 // and prints it in the format of paper Tables 2–5, together with the
-// estimator's prediction.
+// estimator's prediction and the solver's efficiency counters (cache
+// hit-rate, per-chain accepted/proposed steps).
 //
 // Usage:
 //
 //	realsearch -actor 70b -critic 7b -nodes 16 -batch 4096 -steps 4000
+//	realsearch -actor 7b -critic 7b -solver parallel-mcmc -chains 8
 package main
 
 import (
@@ -12,11 +14,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"realhf/internal/baselines"
 	"realhf/internal/core"
 	"realhf/internal/experiments"
 	"realhf/internal/model"
+	"realhf/internal/search"
 )
 
 func main() {
@@ -28,7 +32,11 @@ func main() {
 	prompt := flag.Int("prompt", 1024, "prompt length in tokens")
 	gen := flag.Int("gen", 1024, "generated tokens per sequence")
 	algo := flag.String("algo", "ppo", "RLHF algorithm: ppo, dpo, grpo, remax")
-	steps := flag.Int("steps", 4000, "MCMC search steps")
+	solver := flag.String("solver", "mcmc",
+		"planning engine: "+strings.Join(search.Names(), ", "))
+	chains := flag.Int("chains", 0,
+		"parallel MCMC chains (implies -solver parallel-mcmc when > 1; 0 = solver default)")
+	steps := flag.Int("steps", 4000, "MCMC search steps (per chain)")
 	seed := flag.Int64("seed", 1, "search seed")
 	heuristic := flag.Bool("heuristic", false, "print the heuristic plan instead of searching")
 	save := flag.String("save", "", "write the resulting plan to this JSON file")
@@ -69,7 +77,13 @@ func main() {
 		return
 	}
 
-	res, err := pr.SearchPlan(*steps, *seed)
+	name := *solver
+	if *chains > 1 && name == "mcmc" {
+		name = "parallel-mcmc"
+	}
+	res, err := pr.SolveWith(name, search.Options{
+		MaxSteps: *steps, Seed: *seed, Chains: *chains,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,13 +93,22 @@ func main() {
 		}
 		fmt.Printf("plan written to %s\n", *save)
 	}
-	fmt.Printf("Searched plan for %s actor + %s critic on %d GPUs (%s, %d steps):\n\n",
-		*actor, *critic, pr.Cluster.NumGPUs(), *algo, res.Steps)
+	fmt.Printf("Searched plan for %s actor + %s critic on %d GPUs (%s, solver=%s, %d steps):\n\n",
+		*actor, *critic, pr.Cluster.NumGPUs(), *algo, name, res.Steps)
 	fmt.Print(res.Plan.Table(res.Estimate.CallTimes))
 	fmt.Printf("\nEstimated iteration time: %.1fs   MaxMem: %.1f GB   OOM: %v\n",
 		res.Estimate.TimeCost, float64(res.Estimate.MaxMem)/(1<<30), res.Estimate.OOM)
 	fmt.Printf("Search space: ~1e%.0f plans, accepted %d/%d moves\n",
 		res.SpaceLog10, res.Accepted, res.Steps)
+	fmt.Printf("Cost cache: %d hits / %d misses (%.1f%% hit rate)\n",
+		res.CacheHits, res.CacheMisses, 100*res.CacheHitRate())
+	if len(res.Chains) > 1 {
+		fmt.Printf("\n%-6s %-22s %10s %10s %12s\n", "Chain", "Seed", "Proposed", "Accepted", "BestCost")
+		for _, c := range res.Chains {
+			fmt.Printf("%-6d %-22d %10d %10d %11.1fs\n",
+				c.Chain, c.Seed, c.Proposed, c.Accepted, c.BestCost)
+		}
+	}
 	if res.Estimate.OOM {
 		os.Exit(1)
 	}

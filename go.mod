@@ -1,0 +1,3 @@
+module realhf
+
+go 1.24

@@ -246,3 +246,48 @@ func TestModelsFor(t *testing.T) {
 		}
 	}
 }
+
+func TestFingerprintCanonical(t *testing.T) {
+	a := ppoPlan(t, 2, 1)
+	b := ppoPlan(t, 2, 1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical plans must share a fingerprint")
+	}
+	b.Assign["ActorGen"] = Assignment{
+		Mesh:     b.Assign["ActorGen"].Mesh,
+		Strategy: parallel.Strategy{DP: 4, TP: 4, PP: 1, MicroBatches: 2},
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("differing assignments must change the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesZeRO3(t *testing.T) {
+	// Signature historically dropped the ZeRO3 flag; the fingerprint used as
+	// the cost-cache key must not conflate a ZeRO-3 layout with plain DP.
+	a := ppoPlan(t, 2, 1)
+	b := a.Clone()
+	st := a.Assign["ActorTrain"].Strategy
+	st.ZeRO3 = true
+	st.TP, st.PP = 1, 1
+	st.DP = a.Assign["ActorTrain"].Mesh.NumGPUs()
+	plain := st
+	plain.ZeRO3 = false
+	a.Assign["ActorTrain"] = Assignment{Mesh: a.Assign["ActorTrain"].Mesh, Strategy: plain}
+	b.Assign["ActorTrain"] = Assignment{Mesh: b.Assign["ActorTrain"].Mesh, Strategy: st}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("ZeRO3 flag must be part of the fingerprint")
+	}
+}
+
+func TestFingerprintUnassignedCalls(t *testing.T) {
+	a := ppoPlan(t, 2, 1)
+	b := a.Clone()
+	delete(b.Assign, "ActorGen")
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("an unassigned call must not collide with an assigned one")
+	}
+	if av, bv := a.Assign["RefInf"].Fingerprint(), b.Assign["RefInf"].Fingerprint(); av != bv {
+		t.Fatalf("assignment fingerprints diverged: %s vs %s", av, bv)
+	}
+}

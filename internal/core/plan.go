@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"realhf/internal/dfg"
@@ -197,6 +198,57 @@ func (p *Plan) Signature() string {
 			a.Strategy.DP, a.Strategy.TP, a.Strategy.PP, a.Strategy.MicroBatches)
 	}
 	return b.String()
+}
+
+// appendFingerprint appends the assignment's canonical encoding: mesh
+// extent plus every strategy field, including ZeRO3 (which Signature
+// historically omitted — two baseline seeds differing only in ZeRO3 must
+// not collide in a memoization map).
+func (a Assignment) appendFingerprint(b []byte) []byte {
+	b = strconv.AppendInt(b, int64(a.Mesh.First), 10)
+	b = append(b, '+')
+	b = strconv.AppendInt(b, int64(a.Mesh.Count), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(a.Strategy.DP), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(a.Strategy.TP), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(a.Strategy.PP), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(a.Strategy.MicroBatches), 10)
+	if a.Strategy.ZeRO3 {
+		b = append(b, 'z')
+	}
+	return b
+}
+
+// Fingerprint returns a compact canonical key identifying the assignment,
+// for memoization maps keyed by (call, mesh, strategy).
+func (a Assignment) Fingerprint() string {
+	return string(a.appendFingerprint(make([]byte, 0, 24)))
+}
+
+// Fingerprint returns a canonical key identifying the plan's assignments.
+// Two plans over the same problem (cluster, graph, models) have equal
+// fingerprints iff every call carries an identical assignment, so the key
+// is safe for cost-cache lookups shared across concurrent search chains.
+// Unassigned calls are encoded explicitly and so never collide with
+// assigned ones.
+func (p *Plan) Fingerprint() string {
+	names := p.CallNames()
+	sort.Strings(names)
+	b := make([]byte, 0, 32*len(names))
+	for _, name := range names {
+		b = append(b, name...)
+		b = append(b, '=')
+		if a, ok := p.Assign[name]; ok {
+			b = a.appendFingerprint(b)
+		} else {
+			b = append(b, '!')
+		}
+		b = append(b, ';')
+	}
+	return string(b)
 }
 
 // Table renders the plan in the format of paper Tables 2–5. Durations (if

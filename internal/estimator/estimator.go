@@ -68,8 +68,17 @@ func (e *Estimator) CallBreakdown(p *core.Plan, n *dfg.Node) (gpumodel.Breakdown
 	return gpumodel.AssembleCall(mc, e.Comm, spec), nil
 }
 
-// nodeDuration estimates one augmented-graph node.
-func (e *Estimator) nodeDuration(p *core.Plan, n *core.AugNode) (float64, error) {
+// DurationFunc costs one augmented-graph node under a plan. Implementations
+// must be pure with respect to the plan and node (no retained references, no
+// mutation) so that Evaluate stays safe for concurrent use.
+type DurationFunc func(p *core.Plan, n *core.AugNode) (float64, error)
+
+// NodeDuration estimates one augmented-graph node. It is the estimator's
+// default DurationFunc: a pure function of the plan and node that touches
+// only immutable estimator state (cost tables, hardware model), so it is
+// safe to call from concurrent search chains. The search layer wraps it
+// with a memoizing cache keyed by (call, mesh, strategy).
+func (e *Estimator) NodeDuration(p *core.Plan, n *core.AugNode) (float64, error) {
 	switch n.Kind {
 	case core.KindCall:
 		b, err := e.CallBreakdown(p, n.Call)
@@ -166,15 +175,25 @@ func (q *readyQueue) Pop() any {
 
 // Evaluate estimates a plan: it builds the augmented graph, runs Algorithm 1
 // to obtain TimeCost(Gp), computes MaxMem(Gp), and combines them into the
-// search cost.
+// search cost. It is pure and race-free: concurrent Evaluate calls on
+// distinct plan clones never interfere.
 func (e *Estimator) Evaluate(p *core.Plan) (*Result, error) {
+	return e.EvaluateWith(p, e.NodeDuration)
+}
+
+// EvaluateWith is Evaluate with an injected node coster — the hook the
+// search layer's shared cost cache uses to memoize per-call durations
+// across chains. The returned Result must be treated as immutable by
+// callers: the cache hands the same pointer to every chain that revisits a
+// plan fingerprint.
+func (e *Estimator) EvaluateWith(p *core.Plan, dur DurationFunc) (*Result, error) {
 	g, err := p.BuildAugGraph()
 	if err != nil {
 		return nil, err
 	}
 	durations := make([]float64, len(g.Nodes))
 	for _, n := range g.Nodes {
-		d, err := e.nodeDuration(p, n)
+		d, err := dur(p, n)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -126,22 +127,41 @@ func (pr *Problem) EmptyPlan() *core.Plan {
 	return core.NewPlan(pr.Cluster, pr.Graph, pr.Models)
 }
 
-// SearchPlan runs the MCMC planner with a fixed step budget and seed. The
-// chain is warm-started with the baseline placements (symmetric heuristic
-// and the split-placement systems) in addition to the greedy seed: all of
-// them lie inside the search space, and starting from the cheapest lets the
-// reduced step budgets of this reproduction match the paper's
+// SearchProblem bundles the problem for the search package's Solver
+// interface.
+func (pr *Problem) SearchProblem() search.Problem {
+	return search.Problem{Est: pr.Est, Plan: pr.EmptyPlan()}
+}
+
+// WarmStarts builds the baseline placements (symmetric heuristic and the
+// split-placement systems) used as SeedCandidates: all of them lie inside
+// the search space, and starting from the cheapest lets the reduced step
+// budgets of this reproduction match the paper's
 // better-than-every-baseline outcome.
-func (pr *Problem) SearchPlan(steps int, seed int64) (*search.Result, error) {
+func (pr *Problem) WarmStarts() []*core.Plan {
 	var seeds []*core.Plan
 	for _, sys := range []baselines.System{baselines.Heuristic, baselines.NeMoAligner, baselines.OpenRLHF} {
 		if p, err := baselines.Build(sys, pr.Cluster, pr.Graph, pr.Models); err == nil {
 			seeds = append(seeds, p)
 		}
 	}
-	return search.Search(pr.Est, pr.EmptyPlan(), search.Options{
-		MaxSteps: steps, Seed: seed, SeedCandidates: seeds,
-	})
+	return seeds
+}
+
+// SolveWith runs the named solver from the registry over this problem,
+// warm-started with the baseline placements.
+func (pr *Problem) SolveWith(solver string, opt search.Options) (*search.Result, error) {
+	if opt.SeedCandidates == nil {
+		opt.SeedCandidates = pr.WarmStarts()
+	}
+	return search.Solve(context.Background(), solver, pr.SearchProblem(), opt)
+}
+
+// SearchPlan runs the sequential MCMC planner with a fixed step budget and
+// seed — the pre-Solver entry point, now routed through the solver
+// registry.
+func (pr *Problem) SearchPlan(steps int, seed int64) (*search.Result, error) {
+	return pr.SolveWith("mcmc", search.Options{MaxSteps: steps, Seed: seed})
 }
 
 // HeuristicPlan builds the REAL-Heuristic baseline plan.

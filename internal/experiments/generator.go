@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -68,10 +69,12 @@ func Fig12(scales []int, steps int) ([]Fig12Point, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		res, err := search.Search(profEst, pr.EmptyPlan(), search.Options{
-			MaxSteps: steps, Seed: int64(nodes),
-			SeedCandidates: []*core.Plan{heur},
-		})
+		res, err := search.Solve(context.Background(), "mcmc",
+			search.Problem{Est: profEst, Plan: pr.EmptyPlan()},
+			search.Options{
+				MaxSteps: steps, Seed: int64(nodes),
+				SeedCandidates: []*core.Plan{heur},
+			})
 		if err != nil {
 			return nil, "", err
 		}
@@ -199,11 +202,12 @@ func Fig14(steps int, caps []int) ([]ConvergenceCurve, string, error) {
 	}
 	var curves []ConvergenceCurve
 	for _, cap := range caps {
-		res, err := search.Search(pr.Est, pr.EmptyPlan(), search.Options{
-			MaxSteps: steps, Seed: int64(cap),
-			Prune: search.PruneModerate, MaxCandidatesPerCall: cap,
-			SeedCandidates: []*core.Plan{heur},
-		})
+		res, err := search.Solve(context.Background(), "mcmc", pr.SearchProblem(),
+			search.Options{
+				MaxSteps: steps, Seed: int64(cap),
+				Prune: search.PruneModerate, MaxCandidatesPerCall: cap,
+				SeedCandidates: []*core.Plan{heur},
+			})
 		if err != nil {
 			return nil, "", err
 		}
@@ -247,7 +251,8 @@ func Fig15(steps, topK int) ([]Fig15Result, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		bf, err := search.BruteForce(pr.Est, pr.EmptyPlan(), topK)
+		bf, err := search.Solve(context.Background(), "exhaustive", pr.SearchProblem(),
+			search.Options{MaxCandidatesPerCall: topK})
 		if err != nil {
 			return nil, "", err
 		}

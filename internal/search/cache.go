@@ -1,0 +1,153 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"realhf/internal/core"
+	"realhf/internal/estimator"
+)
+
+// CostCache memoizes the estimator at two granularities, safely shared by
+// concurrent search chains:
+//
+//   - plan level: the full estimator.Result keyed by the plan's canonical
+//     Fingerprint, so a plan revisited by any chain is never re-simulated;
+//   - node level: the duration of each augmented-graph node keyed by its
+//     inputs — (call, mesh, strategy) for call nodes, (role/bytes, src, dst)
+//     for transfer-style nodes — so even a brand-new plan only pays for the
+//     assignments it actually changed.
+//
+// Cached Results are shared pointers and must be treated as immutable.
+//
+// A cache is scoped to one (problem, estimator) pair: node keys assume the
+// problem's fixed mapping from call names to (role, workload, model) and the
+// estimator's fixed cost tables. Never share one across different problems
+// or estimators.
+type CostCache struct {
+	mu    sync.RWMutex
+	plans map[string]*estimator.Result
+
+	nodeMu sync.RWMutex
+	nodes  map[string]float64
+
+	hits, misses atomic.Int64
+}
+
+// NewCostCache allocates an empty cache.
+func NewCostCache() *CostCache {
+	return &CostCache{
+		plans: make(map[string]*estimator.Result),
+		nodes: make(map[string]float64),
+	}
+}
+
+// Hits and Misses report plan-level lookup counters.
+func (c *CostCache) Hits() int64   { return c.hits.Load() }
+func (c *CostCache) Misses() int64 { return c.misses.Load() }
+
+// HitRate is plan-level hits over total lookups (0 when empty).
+func (c *CostCache) HitRate() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len returns the number of cached plan evaluations.
+func (c *CostCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.plans)
+}
+
+// nodeKey canonically encodes one augmented-graph node's cost inputs. Node
+// durations depend only on these inputs (the estimator's NodeDuration is
+// pure), so the key is safe across plans and chains within one problem.
+func nodeKey(n *core.AugNode) string {
+	b := make([]byte, 0, 64)
+	b = append(b, byte('0'+int(n.Kind)))
+	b = append(b, '|')
+	switch n.Kind {
+	case core.KindCall:
+		// Within one problem a call name fixes (role, type, workload); the
+		// duration is iteration-independent, so iterations share entries.
+		b = append(b, n.Call.Name...)
+	default:
+		b = append(b, string(n.Role)...)
+		b = append(b, '#')
+		b = appendInt64(b, n.Bytes)
+		b = append(b, '#')
+		b = append(b, n.Src.Fingerprint()...)
+		b = append(b, '>')
+		b = append(b, n.Dst.Fingerprint()...)
+	}
+	return string(b)
+}
+
+func appendInt64(b []byte, v int64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// nodeDuration memoizes one node's duration, delegating to the estimator on
+// miss. Call nodes additionally key on the call's current assignment (the
+// plan varies underneath a stable name).
+func (c *CostCache) nodeDuration(e *estimator.Estimator, p *core.Plan, n *core.AugNode) (float64, error) {
+	key := nodeKey(n)
+	if n.Kind == core.KindCall {
+		if a, ok := p.AssignmentOf(n.Call); ok {
+			key += "@" + a.Fingerprint()
+		}
+	}
+	c.nodeMu.RLock()
+	d, ok := c.nodes[key]
+	c.nodeMu.RUnlock()
+	if ok {
+		return d, nil
+	}
+	d, err := e.NodeDuration(p, n)
+	if err != nil {
+		return 0, err
+	}
+	c.nodeMu.Lock()
+	c.nodes[key] = d
+	c.nodeMu.Unlock()
+	return d, nil
+}
+
+// Evaluate returns the memoized estimate of the plan, computing and caching
+// it on miss. Concurrent callers may race to fill the same fingerprint; the
+// evaluation is deterministic, so either result is identical and the last
+// write wins. Errors (e.g. unassigned calls) are not cached.
+func (c *CostCache) Evaluate(e *estimator.Estimator, p *core.Plan) (*estimator.Result, error) {
+	fp := p.Fingerprint()
+	c.mu.RLock()
+	r, ok := c.plans[fp]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return r, nil
+	}
+	c.misses.Add(1)
+	r, err := e.EvaluateWith(p, func(pl *core.Plan, n *core.AugNode) (float64, error) {
+		return c.nodeDuration(e, pl, n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.plans[fp] = r
+	c.mu.Unlock()
+	return r, nil
+}

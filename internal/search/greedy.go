@@ -1,0 +1,82 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"realhf/internal/core"
+	"realhf/internal/estimator"
+)
+
+// Greedy builds the paper's seed plan p₀: every call independently takes the
+// assignment minimizing its own estimated duration, ignoring overlap and
+// memory (§5.2 notes this seed is usually sub-optimal for exactly those
+// reasons).
+func Greedy(e *estimator.Estimator, p *core.Plan, lvl PruneLevel) (*core.Plan, error) {
+	sets, _, err := candidateSets(p, lvl)
+	if err != nil {
+		return nil, err
+	}
+	return greedyFromSets(e, p, sets)
+}
+
+// greedyFromSets is Greedy over precomputed candidate sets, so callers that
+// already enumerated the space don't pay for it twice.
+func greedyFromSets(e *estimator.Estimator, p *core.Plan, sets map[string][]core.Assignment) (*core.Plan, error) {
+	byName := nodesByName(p)
+	out := p.Clone()
+	for name, n := range byName {
+		best := math.Inf(1)
+		var bestA core.Assignment
+		for _, a := range sets[name] {
+			t, err := callTime(e, p, n, a)
+			if err != nil {
+				continue
+			}
+			if t < best {
+				best, bestA = t, a
+			}
+		}
+		if math.IsInf(best, 1) {
+			return nil, fmt.Errorf("search: no costable assignment for %q", name)
+		}
+		out.Assign[name] = bestA
+	}
+	return out, nil
+}
+
+// greedySolver wraps Greedy as a Solver: it builds the per-call minimizing
+// seed plan and reports its estimate, with no sampling. Deterministic and
+// seed-independent.
+type greedySolver struct{}
+
+func (greedySolver) Name() string { return "greedy" }
+
+func (greedySolver) Solve(ctx context.Context, prob Problem, opt Options) (Solution, Stats, error) {
+	opt = opt.withDefaults()
+	sets, spaceLog10, err := candidateSets(prob.Plan, opt.Prune)
+	if err != nil {
+		return Solution{}, Stats{}, err
+	}
+	plan, err := greedyFromSets(prob.Est, prob.Plan, sets)
+	if err != nil {
+		return Solution{}, Stats{}, err
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = NewCostCache()
+	}
+	hits0, misses0 := cache.Hits(), cache.Misses()
+	res, err := cache.Evaluate(prob.Est, plan)
+	if err != nil {
+		return Solution{}, Stats{}, err
+	}
+	st := Stats{
+		SpaceLog10:  spaceLog10,
+		CacheHits:   cache.Hits() - hits0,
+		CacheMisses: cache.Misses() - misses0,
+		Trace:       []ProgressPoint{{Step: 0, BestCost: res.Cost}},
+	}
+	return Solution{Plan: plan, Cost: res.Cost, Estimate: res}, st, nil
+}

@@ -1,0 +1,312 @@
+package search
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"realhf/internal/core"
+	"realhf/internal/estimator"
+)
+
+// seedStride derives per-chain RNG seeds from Options.Seed: chain i runs on
+// Seed + i·seedStride (a large odd constant, so chains never share streams),
+// and chain 0 uses Options.Seed verbatim — a one-chain parallel run is
+// therefore bit-identical to the sequential walker.
+const seedStride uint64 = 0x9E3779B97F4A7C15
+
+func chainSeed(base int64, chain int) int64 {
+	return base + int64(uint64(chain)*seedStride)
+}
+
+// chainState is one Metropolis–Hastings chain. Between exchange barriers a
+// chain is touched by exactly one goroutine; barriers are the only points
+// where state crosses chains.
+type chainState struct {
+	idx  int
+	seed int64
+	rng  *rand.Rand
+
+	cur     *core.Plan
+	curCost float64
+	best    *core.Plan
+	bestRes *estimator.Result
+
+	beta         float64
+	adaptiveBeta bool
+
+	step     int // proposals attempted (including failed evaluations)
+	evalStep int // last step whose proposal evaluated successfully
+	accepted int
+	trace    []ProgressPoint
+	done     bool
+}
+
+// run advances the chain until its per-chain budget (opt.MaxSteps or
+// opt.TimeLimit, matching the sequential walker's termination rule), the
+// round boundary `until` (0 = none), or ctx cancellation. The proposal loop
+// and RNG consumption order replicate the pre-Solver engine exactly, so a
+// fixed seed reproduces its plan bit for bit.
+func (c *chainState) run(ctx context.Context, ev func(*core.Plan) (*estimator.Result, error),
+	sp *space, opt Options, start time.Time, until int) {
+	for {
+		step := c.step + 1
+		if opt.MaxSteps > 0 && step > opt.MaxSteps {
+			c.done = true
+			return
+		}
+		if opt.MaxSteps == 0 && time.Since(start) > opt.TimeLimit {
+			c.done = true
+			return
+		}
+		if until > 0 && step > until {
+			return
+		}
+		if ctx.Err() != nil {
+			c.done = true
+			return
+		}
+		c.step = step
+		// Propose: re-draw one call's assignment uniformly.
+		name := sp.names[c.rng.Intn(len(sp.names))]
+		cands := sp.sets[name]
+		next := c.cur.Clone()
+		next.Assign[name] = cands[c.rng.Intn(len(cands))]
+		nextRes, err := ev(next)
+		if err != nil {
+			continue
+		}
+		c.evalStep = step
+		accept := nextRes.Cost <= c.curCost ||
+			c.rng.Float64() < math.Exp(-c.beta*(nextRes.Cost-c.curCost))
+		if accept {
+			c.cur, c.curCost = next, nextRes.Cost
+			c.accepted++
+			if nextRes.Cost < c.bestRes.Cost {
+				c.best, c.bestRes = next, nextRes
+				if c.adaptiveBeta {
+					// Keep the temperature matched to the current cost
+					// scale: an OOM-penalized seed would otherwise leave β
+					// so small that the chain random-walks forever.
+					c.beta = 10 / math.Max(c.bestRes.Cost, 1e-9)
+				}
+				c.trace = append(c.trace, ProgressPoint{
+					Elapsed: time.Since(start), Step: step, BestCost: c.bestRes.Cost,
+				})
+			}
+		}
+		if step%opt.ProgressEvery == 0 {
+			c.trace = append(c.trace, ProgressPoint{
+				Elapsed: time.Since(start), Step: step, BestCost: c.bestRes.Cost,
+			})
+		}
+	}
+}
+
+// startState resolves the shared initial plan: the caller-provided
+// InitialPlan or the greedy seed (minimizing over the full pre-shortlist
+// candidate sets, reusing the solver's enumeration), improved by any
+// cheaper SeedCandidates.
+func startState(ev func(*core.Plan) (*estimator.Result, error), e *estimator.Estimator,
+	p *core.Plan, sp *space, opt Options) (*core.Plan, *estimator.Result, error) {
+	var cur *core.Plan
+	var err error
+	if opt.InitialPlan != nil {
+		cur = opt.InitialPlan.Clone()
+	} else {
+		cur, err = greedyFromSets(e, p, sp.fullSets)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	curRes, err := ev(cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Warm starts: adopt the cheapest of the greedy seed and any candidate
+	// plans the caller supplies.
+	for _, seed := range opt.SeedCandidates {
+		if seed == nil {
+			continue
+		}
+		sr, err := ev(seed)
+		if err != nil {
+			continue
+		}
+		if sr.Cost < curRes.Cost {
+			cur, curRes = seed.Clone(), sr
+		}
+	}
+	return cur, curRes, nil
+}
+
+// mcmcSolver is the sequential single-chain Metropolis–Hastings walker —
+// the paper's §5.2 search engine.
+type mcmcSolver struct{}
+
+func (mcmcSolver) Name() string { return "mcmc" }
+
+func (mcmcSolver) Solve(ctx context.Context, prob Problem, opt Options) (Solution, Stats, error) {
+	return solveMCMC(ctx, prob, opt, 1)
+}
+
+// parallelMCMCSolver runs K independent chains across goroutines with
+// periodic best-plan exchange at deterministic step boundaries, all sharing
+// one memoized cost cache. The reduction is deterministic: lowest best cost
+// wins, ties broken by chain index.
+type parallelMCMCSolver struct{}
+
+func (parallelMCMCSolver) Name() string { return "parallel-mcmc" }
+
+func (parallelMCMCSolver) Solve(ctx context.Context, prob Problem, opt Options) (Solution, Stats, error) {
+	k := opt.Chains
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	return solveMCMC(ctx, prob, opt, k)
+}
+
+// solveMCMC is the shared engine behind both MCMC solvers.
+func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solution, Stats, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	e, p := prob.Est, prob.Plan
+
+	sp, err := buildSpace(e, p, opt)
+	if err != nil {
+		return Solution{}, Stats{}, err
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = NewCostCache()
+	}
+	hits0, misses0 := cache.Hits(), cache.Misses()
+	ev := func(pl *core.Plan) (*estimator.Result, error) { return cache.Evaluate(e, pl) }
+
+	cur, curRes, err := startState(ev, e, p, sp, opt)
+	if err != nil {
+		return Solution{}, Stats{}, err
+	}
+
+	cs := make([]*chainState, chains)
+	for i := range cs {
+		seed := chainSeed(opt.Seed, i)
+		beta := opt.Beta
+		if opt.Beta == 0 {
+			beta = 10 / math.Max(curRes.Cost, 1e-9)
+		}
+		cs[i] = &chainState{
+			idx: i, seed: seed, rng: rand.New(rand.NewSource(seed)),
+			cur: cur.Clone(), curCost: curRes.Cost,
+			best: cur.Clone(), bestRes: curRes,
+			beta: beta, adaptiveBeta: opt.Beta == 0,
+		}
+	}
+	initial := ProgressPoint{Elapsed: time.Since(start), Step: 0, BestCost: curRes.Cost}
+	cs[0].trace = append(cs[0].trace, initial)
+
+	if chains == 1 {
+		cs[0].run(ctx, ev, sp, opt, start, 0)
+	} else {
+		runExchanging(ctx, cs, ev, sp, opt, start)
+	}
+
+	// Deterministic reduction: best cost, ties broken by chain index.
+	winner := cs[0]
+	for _, c := range cs[1:] {
+		if c.bestRes.Cost < winner.bestRes.Cost {
+			winner = c
+		}
+	}
+
+	st := Stats{SpaceLog10: sp.spaceLog10,
+		CacheHits:   cache.Hits() - hits0,
+		CacheMisses: cache.Misses() - misses0,
+	}
+	for _, c := range cs {
+		st.Steps += c.evalStep
+		st.Accepted += c.accepted
+		st.Chains = append(st.Chains, ChainStats{
+			Chain: c.idx, Seed: c.seed, Proposed: c.step,
+			Accepted: c.accepted, BestCost: c.bestRes.Cost,
+		})
+	}
+	if chains == 1 {
+		st.Trace = cs[0].trace
+	} else {
+		st.Trace = mergeTraces(cs, initial, winner.bestRes.Cost, time.Since(start))
+	}
+	return Solution{Plan: winner.best, Cost: winner.bestRes.Cost, Estimate: winner.bestRes}, st, nil
+}
+
+// runExchanging drives K chains in lockstep rounds of opt.ExchangeEvery
+// steps: chains walk concurrently within a round, then meet at a barrier
+// where laggards adopt the global best plan as their current state.
+// Exchanges happen at deterministic step boundaries, so step-bounded runs
+// remain reproducible regardless of goroutine scheduling.
+func runExchanging(ctx context.Context, cs []*chainState,
+	ev func(*core.Plan) (*estimator.Result, error), sp *space, opt Options, start time.Time) {
+	for target := 0; ; {
+		target += opt.ExchangeEvery
+		var wg sync.WaitGroup
+		live := 0
+		for _, c := range cs {
+			if c.done {
+				continue
+			}
+			live++
+			wg.Add(1)
+			go func(c *chainState) {
+				defer wg.Done()
+				c.run(ctx, ev, sp, opt, start, target)
+			}(c)
+		}
+		wg.Wait()
+		if live == 0 {
+			return
+		}
+		// Exchange: the globally best plan (lowest cost, lowest chain index
+		// on ties) replaces the current state of any chain doing worse.
+		g := cs[0]
+		for _, c := range cs[1:] {
+			if c.bestRes.Cost < g.bestRes.Cost {
+				g = c
+			}
+		}
+		for _, c := range cs {
+			if c.done || c == g {
+				continue
+			}
+			if g.bestRes.Cost < c.curCost {
+				c.cur = g.best.Clone()
+				c.curCost = g.bestRes.Cost
+			}
+		}
+	}
+}
+
+// mergeTraces folds per-chain improvement points into one monotone
+// global-best curve ordered by elapsed time.
+func mergeTraces(cs []*chainState, initial ProgressPoint, finalCost float64, elapsed time.Duration) []ProgressPoint {
+	var all []ProgressPoint
+	for _, c := range cs {
+		all = append(all, c.trace...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Elapsed < all[j].Elapsed })
+	out := []ProgressPoint{initial}
+	best := initial.BestCost
+	for _, pt := range all {
+		if pt.BestCost < best {
+			best = pt.BestCost
+			out = append(out, pt)
+		}
+	}
+	if best > finalCost || len(out) == 1 {
+		out = append(out, ProgressPoint{Elapsed: elapsed, Step: out[len(out)-1].Step, BestCost: finalCost})
+	}
+	return out
+}

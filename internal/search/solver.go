@@ -1,15 +1,16 @@
-// Package search implements the paper's execution-plan search (§5.2): a
-// Metropolis–Hastings MCMC walk over (device mesh, parallelization strategy)
-// assignments, seeded with a greedy per-call minimizer, guided by the
-// estimator's OOM-penalized cost, with the heuristic pruning of §8.2 for
-// very large clusters and a bounded exhaustive search used as the optimality
-// reference of Fig. 15.
+// Package search implements the paper's execution-plan search (§5.2) behind
+// a pluggable Solver interface: a greedy per-call seeder, a sequential
+// Metropolis–Hastings MCMC walker, a parallel multi-chain MCMC solver with
+// periodic best-plan exchange, and a bounded exhaustive search used as the
+// optimality reference of Fig. 15. All solvers share a concurrency-safe
+// memoized cost cache keyed by canonical plan fingerprints, so no
+// (mesh, strategy, call) cost is estimated twice across chains.
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"time"
 
@@ -21,6 +22,68 @@ import (
 	"realhf/internal/mesh"
 	"realhf/internal/parallel"
 )
+
+// Problem bundles what every solver needs: the cost model and the plan
+// template (cluster, graph, models; assignments may be empty).
+type Problem struct {
+	Est  *estimator.Estimator
+	Plan *core.Plan
+}
+
+// Solution is a solver's chosen plan with its estimate.
+type Solution struct {
+	Plan     *core.Plan
+	Cost     float64
+	Estimate *estimator.Result
+}
+
+// ChainStats reports one MCMC chain's work, for per-chain convergence
+// reporting in cmd/realsearch.
+type ChainStats struct {
+	Chain    int
+	Seed     int64
+	Proposed int
+	Accepted int
+	BestCost float64
+}
+
+// Stats aggregates solver-side counters: step/acceptance totals, the
+// convergence trace, the pruned-space size, cache effectiveness, and
+// per-chain breakdowns for multi-chain solvers.
+type Stats struct {
+	// Steps counts successfully evaluated proposals (summed over chains).
+	Steps int
+	// Accepted counts accepted Metropolis moves (summed over chains).
+	Accepted int
+	// Trace samples best-cost-so-far over search time. For multi-chain
+	// solvers it is the merged global-best curve.
+	Trace []ProgressPoint
+	// SpaceLog10 is the log₁₀ size of the pruned joint candidate space.
+	SpaceLog10 float64
+	// CacheHits and CacheMisses count plan-level cost-cache lookups made
+	// during this solve.
+	CacheHits, CacheMisses int64
+	// Chains carries per-chain counters for multi-chain solvers (one entry
+	// for single-chain MCMC).
+	Chains []ChainStats
+}
+
+// CacheHitRate is hits over total lookups (0 when no lookups happened).
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Solver finds an execution plan for a problem. Implementations must be
+// deterministic for a fixed Options.Seed whenever the run is step-bounded
+// (MaxSteps > 0): the same seed yields a byte-identical chosen plan.
+type Solver interface {
+	Name() string
+	Solve(ctx context.Context, prob Problem, opt Options) (Solution, Stats, error)
+}
 
 // PruneLevel selects how aggressively the candidate space is cut before
 // sampling (paper Fig. 14).
@@ -43,20 +106,24 @@ const (
 type Options struct {
 	// TimeLimit bounds wall-clock search time (default 5 s).
 	TimeLimit time.Duration
-	// MaxSteps bounds MCMC steps (0 = unbounded; the time limit governs).
+	// MaxSteps bounds MCMC steps per chain (0 = unbounded; the time limit
+	// governs).
 	MaxSteps int
 	// Beta is the sampling temperature β of P(p) ∝ exp(−β·cost). When 0 it
 	// is auto-scaled to 10/cost(p₀) so relative cost differences matter
 	// uniformly across problem sizes.
 	Beta float64
-	// Seed makes the chain deterministic.
+	// Seed makes the chain deterministic. Multi-chain solvers derive each
+	// chain's seed from it (chain 0 uses it verbatim, so a one-chain run
+	// reproduces the sequential walker exactly).
 	Seed int64
 	// Prune selects the candidate-space pruning level.
 	Prune PruneLevel
 	// MaxCandidatesPerCall, when positive, shortlists each call's candidate
 	// set to the N fastest individual assignments before sampling — the
 	// knob behind the Fig. 14 pruning ablation (a cap of N yields a joint
-	// space of ~N^calls plans).
+	// space of ~N^calls plans). The exhaustive solver uses it as its
+	// per-call shortlist width (default 6).
 	MaxCandidatesPerCall int
 	// ProgressEvery records a trace point every N steps (default 64).
 	ProgressEvery int
@@ -72,6 +139,20 @@ type Options struct {
 	// all other assignments stay frozen at the initial plan. Used by the
 	// progressive-optimization breakdowns (paper Figs. 2 and 9).
 	RestrictCalls []string
+	// Chains is the number of parallel MCMC chains for the parallel-mcmc
+	// solver: 0 means GOMAXPROCS-many, 1 runs a single chain (bit-identical
+	// to the sequential walker), and the sequential solvers ignore it. The
+	// legacy Search entry point upgrades to the parallel solver when
+	// Chains > 1.
+	Chains int
+	// ExchangeEvery is the per-chain step interval between best-plan
+	// exchanges in the parallel solver (default 256). Exchanges happen at
+	// deterministic step boundaries so multi-chain runs stay reproducible.
+	ExchangeEvery int
+	// Cache optionally shares a cost cache across solver invocations (e.g.
+	// re-planning the same problem with different solvers). When nil each
+	// solve allocates its own.
+	Cache *CostCache
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +161,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProgressEvery == 0 {
 		o.ProgressEvery = 64
+	}
+	if o.ExchangeEvery == 0 {
+		o.ExchangeEvery = 256
 	}
 	return o
 }
@@ -91,16 +175,129 @@ type ProgressPoint struct {
 	BestCost float64
 }
 
-// Result is the outcome of a search.
+// Result is the legacy flat view of a solve, kept for the pre-Solver API:
+// it promotes every Solution and Stats field, so existing callers keep
+// reading res.Plan, res.Cost, res.Trace, res.Steps, … unchanged.
 type Result struct {
-	Plan     *core.Plan
-	Cost     float64
-	Estimate *estimator.Result
-	Trace    []ProgressPoint
-	Steps    int
-	Accepted int
-	// SpaceLog10 is the log₁₀ size of the pruned joint candidate space.
-	SpaceLog10 float64
+	Solution
+	Stats
+}
+
+func resultOf(sol Solution, st Stats) *Result { return &Result{Solution: sol, Stats: st} }
+
+// --- solver registry ---
+
+var solvers = map[string]func() Solver{
+	"greedy":        func() Solver { return greedySolver{} },
+	"mcmc":          func() Solver { return mcmcSolver{} },
+	"parallel-mcmc": func() Solver { return parallelMCMCSolver{} },
+	"exhaustive":    func() Solver { return exhaustiveSolver{} },
+}
+
+// Register adds a named solver factory. Registering an existing name
+// replaces it.
+func Register(name string, factory func() Solver) { solvers[name] = factory }
+
+// New resolves a registered solver by name.
+func New(name string) (Solver, error) {
+	f, ok := solvers[name]
+	if !ok {
+		return nil, fmt.Errorf("search: unknown solver %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered solver names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(solvers))
+	for name := range solvers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Solve resolves a solver by name and runs it, returning the legacy flat
+// Result view.
+func Solve(ctx context.Context, name string, prob Problem, opt Options) (*Result, error) {
+	s, err := New(name)
+	if err != nil {
+		return nil, err
+	}
+	sol, st, err := s.Solve(ctx, prob, opt)
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(sol, st), nil
+}
+
+// --- legacy entry points (pre-Solver API), retained as thin wrappers ---
+
+// Search runs Metropolis–Hastings from the greedy seed and returns the best
+// plan observed. With opt.Chains > 1 it upgrades to the parallel multi-chain
+// solver; otherwise it is exactly the sequential single-chain walker.
+func Search(e *estimator.Estimator, p *core.Plan, opt Options) (*Result, error) {
+	var s Solver = mcmcSolver{}
+	if opt.Chains > 1 {
+		s = parallelMCMCSolver{}
+	}
+	sol, st, err := s.Solve(context.Background(), Problem{Est: e, Plan: p}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(sol, st), nil
+}
+
+// BruteForce approximates the exhaustive optimum of Fig. 15 on small
+// clusters via the exhaustive solver: topK is the per-call shortlist width.
+func BruteForce(e *estimator.Estimator, p *core.Plan, topK int) (*Result, error) {
+	sol, st, err := exhaustiveSolver{}.Solve(context.Background(),
+		Problem{Est: e, Plan: p}, Options{MaxCandidatesPerCall: topK})
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(sol, st), nil
+}
+
+// --- candidate space construction, shared by every solver ---
+
+// space is a solver's prepared move set: per-call candidate assignments,
+// the movable call names (sorted for determinism), and the joint-space size.
+// fullSets keeps the pre-shortlist enumeration: the greedy seed minimizes
+// over it (as the original engine did) even when sampling is shortlisted.
+type space struct {
+	sets       map[string][]core.Assignment
+	fullSets   map[string][]core.Assignment
+	names      []string
+	spaceLog10 float64
+}
+
+// buildSpace enumerates (and optionally shortlists) the candidate sets and
+// resolves the movable call names under opt.
+func buildSpace(e *estimator.Estimator, p *core.Plan, opt Options) (*space, error) {
+	full, spaceLog10, err := candidateSets(p, opt.Prune)
+	if err != nil {
+		return nil, err
+	}
+	sets := full
+	if opt.MaxCandidatesPerCall > 0 {
+		sets, spaceLog10, err = shortlist(e, p, full, opt.MaxCandidatesPerCall, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	names := make([]string, 0, len(sets))
+	for name := range sets {
+		if len(opt.RestrictCalls) > 0 && !contains(opt.RestrictCalls, name) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("search: no calls to search over")
+	}
+	return &space{sets: sets, fullSets: full, names: names, spaceLog10: spaceLog10}, nil
 }
 
 // candidates enumerates the legal assignments of one call under the pruning
@@ -211,7 +408,7 @@ func callTime(e *estimator.Estimator, p *core.Plan, n *dfg.Node, a core.Assignme
 	return t, nil
 }
 
-// nodeOfName returns a representative dfg node for each distinct call name.
+// nodesByName returns a representative dfg node for each distinct call name.
 func nodesByName(p *core.Plan) map[string]*dfg.Node {
 	out := map[string]*dfg.Node{}
 	for _, n := range p.Graph.Nodes {
@@ -277,152 +474,6 @@ func shortlist(e *estimator.Estimator, p *core.Plan, sets map[string][]core.Assi
 	return out, log10, nil
 }
 
-// Greedy builds the paper's seed plan p₀: every call independently takes the
-// assignment minimizing its own estimated duration, ignoring overlap and
-// memory (§5.2 notes this seed is usually sub-optimal for exactly those
-// reasons).
-func Greedy(e *estimator.Estimator, p *core.Plan, lvl PruneLevel) (*core.Plan, error) {
-	sets, _, err := candidateSets(p, lvl)
-	if err != nil {
-		return nil, err
-	}
-	byName := nodesByName(p)
-	out := p.Clone()
-	for name, n := range byName {
-		best := math.Inf(1)
-		var bestA core.Assignment
-		for _, a := range sets[name] {
-			t, err := callTime(e, p, n, a)
-			if err != nil {
-				continue
-			}
-			if t < best {
-				best, bestA = t, a
-			}
-		}
-		if math.IsInf(best, 1) {
-			return nil, fmt.Errorf("search: no costable assignment for %q", name)
-		}
-		out.Assign[name] = bestA
-	}
-	return out, nil
-}
-
-// Search runs Metropolis–Hastings from the greedy seed and returns the best
-// plan observed along the chain.
-func Search(e *estimator.Estimator, p *core.Plan, opt Options) (*Result, error) {
-	opt = opt.withDefaults()
-	start := time.Now()
-	rng := rand.New(rand.NewSource(opt.Seed))
-
-	sets, spaceLog10, err := candidateSets(p, opt.Prune)
-	if err != nil {
-		return nil, err
-	}
-	if opt.MaxCandidatesPerCall > 0 {
-		sets, spaceLog10, err = shortlist(e, p, sets, opt.MaxCandidatesPerCall, false)
-		if err != nil {
-			return nil, err
-		}
-	}
-	names := make([]string, 0, len(sets))
-	for name := range sets {
-		if len(opt.RestrictCalls) > 0 && !contains(opt.RestrictCalls, name) {
-			continue
-		}
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return nil, fmt.Errorf("search: no calls to search over")
-	}
-
-	var cur *core.Plan
-	if opt.InitialPlan != nil {
-		cur = opt.InitialPlan.Clone()
-	} else {
-		cur, err = Greedy(e, p, opt.Prune)
-		if err != nil {
-			return nil, err
-		}
-	}
-	curRes, err := e.Evaluate(cur)
-	if err != nil {
-		return nil, err
-	}
-	// Warm starts: adopt the cheapest of the greedy seed and any candidate
-	// plans the caller supplies.
-	for _, seed := range opt.SeedCandidates {
-		if seed == nil {
-			continue
-		}
-		sr, err := e.Evaluate(seed)
-		if err != nil {
-			continue
-		}
-		if sr.Cost < curRes.Cost {
-			cur, curRes = seed.Clone(), sr
-		}
-	}
-	adaptiveBeta := opt.Beta == 0
-	beta := opt.Beta
-	if adaptiveBeta {
-		beta = 10 / math.Max(curRes.Cost, 1e-9)
-	}
-
-	best := cur.Clone()
-	bestRes := curRes
-	res := &Result{SpaceLog10: spaceLog10}
-	res.Trace = append(res.Trace, ProgressPoint{Elapsed: time.Since(start), Step: 0, BestCost: bestRes.Cost})
-
-	curCost := curRes.Cost
-	for step := 1; ; step++ {
-		if opt.MaxSteps > 0 && step > opt.MaxSteps {
-			break
-		}
-		if opt.MaxSteps == 0 && time.Since(start) > opt.TimeLimit {
-			break
-		}
-		// Propose: re-draw one call's assignment uniformly.
-		name := names[rng.Intn(len(names))]
-		cands := sets[name]
-		next := cur.Clone()
-		next.Assign[name] = cands[rng.Intn(len(cands))]
-		nextRes, err := e.Evaluate(next)
-		if err != nil {
-			continue
-		}
-		res.Steps = step
-		accept := nextRes.Cost <= curCost ||
-			rng.Float64() < math.Exp(-beta*(nextRes.Cost-curCost))
-		if accept {
-			cur, curCost = next, nextRes.Cost
-			res.Accepted++
-			if nextRes.Cost < bestRes.Cost {
-				best, bestRes = next, nextRes
-				if adaptiveBeta {
-					// Keep the temperature matched to the current cost
-					// scale: an OOM-penalized seed would otherwise leave β
-					// so small that the chain random-walks forever.
-					beta = 10 / math.Max(bestRes.Cost, 1e-9)
-				}
-				res.Trace = append(res.Trace, ProgressPoint{
-					Elapsed: time.Since(start), Step: step, BestCost: bestRes.Cost,
-				})
-			}
-		}
-		if step%opt.ProgressEvery == 0 {
-			res.Trace = append(res.Trace, ProgressPoint{
-				Elapsed: time.Since(start), Step: step, BestCost: bestRes.Cost,
-			})
-		}
-	}
-	res.Plan = best
-	res.Cost = bestRes.Cost
-	res.Estimate = bestRes
-	return res, nil
-}
-
 func contains(list []string, s string) bool {
 	for _, x := range list {
 		if x == s {
@@ -430,64 +481,4 @@ func contains(list []string, s string) bool {
 		}
 	}
 	return false
-}
-
-// BruteForce approximates the exhaustive optimum of Fig. 15 on small
-// clusters: for every call it shortlists the topK fastest individual
-// assignments, then evaluates the full cross product. (A literal exhaustive
-// enumeration over all ~10¹⁵ joint plans is infeasible even on 8 GPUs; the
-// shortlist preserves the optimum whenever the best joint plan is composed
-// of individually competitive assignments, which Fig. 15 shows holds in
-// practice.)
-func BruteForce(e *estimator.Estimator, p *core.Plan, topK int) (*Result, error) {
-	if topK <= 0 {
-		topK = 6
-	}
-	sets, spaceLog10, err := candidateSets(p, PruneNone)
-	if err != nil {
-		return nil, err
-	}
-	listed, _, err := shortlist(e, p, sets, topK, true)
-	if err != nil {
-		return nil, err
-	}
-	names := p.CallNames()
-	short := make([][]core.Assignment, len(names))
-	for i, name := range names {
-		short[i] = listed[name]
-	}
-
-	best := math.Inf(1)
-	var bestPlan *core.Plan
-	var bestRes *estimator.Result
-	idx := make([]int, len(names))
-	steps := 0
-	for {
-		trial := p.Clone()
-		for i, name := range names {
-			trial.Assign[name] = short[i][idx[i]]
-		}
-		if r, err := e.Evaluate(trial); err == nil {
-			steps++
-			if r.Cost < best {
-				best, bestPlan, bestRes = r.Cost, trial, r
-			}
-		}
-		// Advance the mixed-radix counter.
-		i := 0
-		for ; i < len(idx); i++ {
-			idx[i]++
-			if idx[i] < len(short[i]) {
-				break
-			}
-			idx[i] = 0
-		}
-		if i == len(idx) {
-			break
-		}
-	}
-	if bestPlan == nil {
-		return nil, fmt.Errorf("search: brute force found no feasible plan")
-	}
-	return &Result{Plan: bestPlan, Cost: best, Estimate: bestRes, Steps: steps, SpaceLog10: spaceLog10}, nil
 }

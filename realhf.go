@@ -24,6 +24,7 @@
 package realhf
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -100,12 +101,29 @@ type ExperimentConfig struct {
 	// RPCs is the workflow definition.
 	RPCs []ModelFunctionCallDef
 
-	// SearchSteps bounds the MCMC search (default 4000).
+	// SearchSteps bounds the MCMC search (default 4000; per chain for the
+	// parallel solver).
 	SearchSteps int
 	// SearchTime optionally bounds search wall time instead.
 	SearchTime time.Duration
-	// Seed fixes the search RNG (default 1).
+	// Seed fixes the search RNG (default 1). Multi-chain solvers derive
+	// per-chain seeds from it, and a fixed seed with a step-bounded search
+	// reproduces the chosen plan byte for byte.
 	Seed int64
+	// Solver selects the planning engine by registry name: "mcmc" (the
+	// default sequential Metropolis–Hastings walker of §5.2),
+	// "parallel-mcmc" (K independent chains with periodic best-plan
+	// exchange and a shared memoized cost cache), "greedy" (the per-call
+	// seed plan only), or "exhaustive" (the bounded brute-force reference
+	// of Fig. 15; small problems only). Leaving it empty keeps the
+	// pre-Solver behavior: "mcmc", upgraded to "parallel-mcmc" when
+	// SearchParallelism > 1.
+	Solver string
+	// SearchParallelism is the number of concurrent MCMC chains for the
+	// parallel solver. 0 or 1 keeps the sequential engine (backward
+	// compatible); with Solver == "parallel-mcmc" and SearchParallelism
+	// left at 0 the solver uses GOMAXPROCS chains.
+	SearchParallelism int
 }
 
 func (c ExperimentConfig) withDefaults() ExperimentConfig {
@@ -123,6 +141,12 @@ func (c ExperimentConfig) withDefaults() ExperimentConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Solver == "" {
+		c.Solver = "mcmc"
+		if c.SearchParallelism > 1 {
+			c.Solver = "parallel-mcmc"
+		}
 	}
 	return c
 }
@@ -253,16 +277,24 @@ type Experiment struct {
 	Estimate *estimator.Result
 	// SearchTrace records the planner's convergence.
 	SearchTrace []search.ProgressPoint
+	// SearchStats carries the solver's counters: steps, acceptance,
+	// cost-cache hit rate, and per-chain breakdowns for parallel solvers.
+	SearchStats search.Stats
 
 	est *estimator.Estimator
 }
 
 // Auto builds the experiment and searches for an efficient execution plan —
-// the analogue of the paper's @auto decorator.
+// the analogue of the paper's @auto decorator. The planning engine is
+// selected by cfg.Solver via the search package's solver registry.
 func Auto(cfg ExperimentConfig) (*Experiment, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("realhf: Nodes must be positive")
+	}
+	solver, err := search.New(cfg.Solver)
+	if err != nil {
+		return nil, err
 	}
 	hw := hardware.DefaultCluster(cfg.Nodes)
 	hw.GPUsPerNode = cfg.GPUsPerNode
@@ -280,18 +312,21 @@ func Auto(cfg ExperimentConfig) (*Experiment, error) {
 	if heur, err := baselines.BuildHeuristic(hw, g, models); err == nil {
 		seeds = append(seeds, heur)
 	}
-	res, err := search.Search(est, plan, search.Options{
-		MaxSteps:       cfg.SearchSteps,
-		TimeLimit:      cfg.SearchTime,
-		Seed:           cfg.Seed,
-		SeedCandidates: seeds,
-	})
+	sol, stats, err := solver.Solve(context.Background(),
+		search.Problem{Est: est, Plan: plan},
+		search.Options{
+			MaxSteps:       cfg.SearchSteps,
+			TimeLimit:      cfg.SearchTime,
+			Seed:           cfg.Seed,
+			Chains:         cfg.SearchParallelism,
+			SeedCandidates: seeds,
+		})
 	if err != nil {
 		return nil, err
 	}
 	return &Experiment{
-		Config: cfg, Cluster: hw, Plan: res.Plan,
-		Estimate: res.Estimate, SearchTrace: res.Trace, est: est,
+		Config: cfg, Cluster: hw, Plan: sol.Plan,
+		Estimate: sol.Estimate, SearchTrace: stats.Trace, SearchStats: stats, est: est,
 	}, nil
 }
 

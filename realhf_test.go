@@ -188,3 +188,69 @@ func TestInterfaceTypeString(t *testing.T) {
 		t.Error("InterfaceType strings wrong")
 	}
 }
+
+func TestAutoSolverSelection(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SearchSteps = 300
+
+	base, err := Auto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit "mcmc" must match the default-solver plan exactly.
+	cfg.Solver = "mcmc"
+	same, err := Auto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Plan.Fingerprint() != same.Plan.Fingerprint() {
+		t.Error("explicit mcmc solver must reproduce the default plan")
+	}
+
+	// SearchParallelism > 1 without a solver name upgrades to parallel-mcmc
+	// and reports per-chain stats.
+	cfg.Solver = ""
+	cfg.SearchParallelism = 3
+	par, err := Auto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Plan.Validate(); err != nil {
+		t.Fatalf("parallel-searched plan invalid: %v", err)
+	}
+	if len(par.SearchStats.Chains) != 3 {
+		t.Errorf("want 3 chain stats, got %d", len(par.SearchStats.Chains))
+	}
+	if par.Estimate.Cost > base.Estimate.Cost*1.001 {
+		t.Errorf("3 chains (%.3f) should not lose to one (%.3f)",
+			par.Estimate.Cost, base.Estimate.Cost)
+	}
+
+	// Unknown solver names fail fast.
+	cfg.Solver = "simulated-annealing"
+	if _, err := Auto(cfg); err == nil {
+		t.Error("unknown solver name must error")
+	}
+}
+
+func TestAutoDeterministicAcrossSolverRuns(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SearchSteps = 300
+	cfg.Solver = "parallel-mcmc"
+	cfg.SearchParallelism = 2
+	a, err := Auto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Auto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan.Fingerprint() != b.Plan.Fingerprint() {
+		t.Error("same seed must reproduce the same parallel-searched plan")
+	}
+	if a.SearchStats.CacheMisses == 0 {
+		t.Error("search stats must report cost-cache counters")
+	}
+}
