@@ -12,8 +12,13 @@ import (
 	"time"
 
 	"realhf/internal/baselines"
+	"realhf/internal/core"
+	"realhf/internal/dfg"
 	"realhf/internal/experiments"
+	"realhf/internal/hardware"
+	"realhf/internal/mesh"
 	"realhf/internal/model"
+	"realhf/internal/parallel"
 	realruntime "realhf/internal/runtime"
 	"realhf/internal/search"
 )
@@ -347,6 +352,48 @@ func BenchmarkRuntimeExecution(b *testing.B) {
 		if _, err := realruntime.RunDefault(plan); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRuntimeOverlap executes a reallocation-heavy split placement with
+// the comm stream off and on, reporting the virtual-time ±overlap ablation.
+// All reported metrics are deterministic virtual quantities — the CI
+// bench-regression gate pins them exactly (within float tolerance), while
+// ns/op tracks the physical dispatch loop.
+func BenchmarkRuntimeOverlap(b *testing.B) {
+	cluster := hardware.DefaultCluster(2)
+	g := dfg.BuildPPO(dfg.Spec{Batch: 256, PromptLen: 512, GenLen: 512, Iterations: 2})
+	plan := core.NewPlan(cluster, g, core.PPOModels(model.LLaMA7B, model.LLaMA7B))
+	m0, err := mesh.New(0, 8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m1, err := mesh.New(8, 8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := parallel.Strategy{DP: 1, TP: 8, PP: 1, MicroBatches: 2}
+	stGen := parallel.Strategy{DP: 4, TP: 2, PP: 1, MicroBatches: 1}
+	plan.Assign["ActorGen"] = core.Assignment{Mesh: m0, Strategy: stGen}
+	plan.Assign["RefInf"] = core.Assignment{Mesh: m0, Strategy: st}
+	plan.Assign["ActorTrain"] = core.Assignment{Mesh: m0, Strategy: st}
+	plan.Assign["RewInf"] = core.Assignment{Mesh: m1, Strategy: st}
+	plan.Assign["CriticInf"] = core.Assignment{Mesh: m1, Strategy: st}
+	plan.Assign["CriticTrain"] = core.Assignment{Mesh: m1, Strategy: st}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial, err := realruntime.RunDefault(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		over, err := realruntime.RunOverlapped(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(serial.MakespanV, "serial-e2e-s")
+		b.ReportMetric(over.MakespanV, "overlap-e2e-s")
+		b.ReportMetric(serial.CommTimeV, "comm-s")
+		b.ReportMetric(100*(serial.MakespanV-over.MakespanV)/serial.CommTimeV, "comm-hidden-%")
 	}
 }
 

@@ -1,0 +1,199 @@
+// Command benchdiff converts `go test -bench` output into a JSON benchmark
+// manifest and gates it against a committed baseline — the CI
+// benchmark-regression check.
+//
+// The repo's benchmarks report two kinds of numbers:
+//
+//   - custom metrics (virtual seconds, speedups, percentages): deterministic
+//     functions of the simulated cluster, identical on any machine. These
+//     are compared two-sided against the baseline with a tight relative
+//     tolerance — any drift, faster or slower, is a semantic change that
+//     must be accompanied by a deliberate baseline regeneration.
+//   - ns/op (and B/op, allocs/op): physical, machine-dependent. These are
+//     gated one-sided with a generous factor to catch order-of-magnitude
+//     blowups without flaking on runner variance; 0 disables that gate.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run '^$' . | go run ./cmd/benchdiff -current - -out BENCH_new.json
+//	go run ./cmd/benchdiff -current bench.txt -baseline BENCH_baseline.json -out BENCH_new.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's parsed results.
+type Bench struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics maps a unit (e.g. "overlap-e2e-s") to its reported value.
+	// Physical units (B/op, allocs/op, MB/s) live here too.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Manifest is the JSON artifact: benchmark name (GOMAXPROCS suffix
+// stripped) to results.
+type Manifest struct {
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// physicalUnits are machine-dependent and gated one-sided by -time-factor.
+var physicalUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true}
+
+func parseBenchOutput(r io.Reader) (*Manifest, error) {
+	m := &Manifest{Benchmarks: map[string]Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark lines: Name-N  iterations  (value unit)+
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := strings.TrimPrefix(procSuffix.ReplaceAllString(fields[0], ""), "Benchmark")
+		b := Bench{Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = val
+			} else {
+				b.Metrics[unit] = val
+			}
+		}
+		m.Benchmarks[name] = b
+	}
+	return m, sc.Err()
+}
+
+// compare gates current against baseline; it returns the list of failures
+// (empty means the gate passes).
+func compare(baseline, current *Manifest, metricTol, timeFactor float64) []string {
+	var fails []string
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: benchmark missing from current run", name))
+			continue
+		}
+		if timeFactor > 0 && base.NsPerOp > 0 && cur.NsPerOp > base.NsPerOp*timeFactor {
+			fails = append(fails, fmt.Sprintf("%s: ns/op %.0f exceeds baseline %.0f by more than %gx",
+				name, cur.NsPerOp, base.NsPerOp, timeFactor))
+		}
+		units := make([]string, 0, len(base.Metrics))
+		for unit := range base.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv := base.Metrics[unit]
+			cv, ok := cur.Metrics[unit]
+			if !ok {
+				fails = append(fails, fmt.Sprintf("%s: metric %q missing from current run", name, unit))
+				continue
+			}
+			if physicalUnits[unit] {
+				if timeFactor > 0 && bv > 0 && cv > bv*timeFactor {
+					fails = append(fails, fmt.Sprintf("%s: %s %.0f exceeds baseline %.0f by more than %gx",
+						name, unit, cv, bv, timeFactor))
+				}
+				continue
+			}
+			scale := math.Max(math.Abs(bv), 1e-12)
+			if math.Abs(cv-bv)/scale > metricTol {
+				fails = append(fails, fmt.Sprintf("%s: %s drifted %.6g -> %.6g (>%.2g%% relative)",
+					name, unit, bv, cv, 100*metricTol))
+			}
+		}
+	}
+	return fails
+}
+
+func main() {
+	log.SetFlags(0)
+	current := flag.String("current", "", "bench output text to parse ('-' for stdin)")
+	baselinePath := flag.String("baseline", "", "baseline manifest JSON to gate against (optional)")
+	out := flag.String("out", "", "write the parsed manifest JSON here (optional)")
+	metricTol := flag.Float64("metric-tol", 0.01,
+		"two-sided relative tolerance for deterministic custom metrics")
+	timeFactor := flag.Float64("time-factor", 8,
+		"one-sided blowup factor for machine-dependent ns/op-style numbers (0 disables)")
+	flag.Parse()
+
+	if *current == "" {
+		log.Fatal("benchdiff: -current is required")
+	}
+	var in io.Reader = os.Stdin
+	if *current != "-" {
+		f, err := os.Open(*current)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	manifest, err := parseBenchOutput(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(manifest.Benchmarks) == 0 {
+		log.Fatal("benchdiff: no benchmark lines found in input")
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(manifest, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(manifest.Benchmarks))
+	}
+	if *baselinePath == "" {
+		return
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var baseline Manifest
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		log.Fatalf("benchdiff: bad baseline %s: %v", *baselinePath, err)
+	}
+	fails := compare(&baseline, manifest, *metricTol, *timeFactor)
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s\n", len(fails), *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within tolerance of %s\n",
+		len(baseline.Benchmarks), *baselinePath)
+}

@@ -1,0 +1,149 @@
+// Command goldengen regenerates testdata/golden_plans.txt: the pinned
+// fingerprints of the seed-fixed, step-bounded MCMC solver plus the
+// runtime engine's virtual timings (serialized and overlapped) for those
+// plans and for a fixed reallocation-heavy placement.
+//
+// The file is a committed artifact. CI re-runs this tool and fails via
+// `git diff --exit-code` if any fingerprint or virtual timing changed —
+// plan-search and runtime regressions surface as diffs, and deliberate
+// cost-model changes are recorded by regenerating the file in the same
+// commit.
+//
+// Usage:
+//
+//	go run ./cmd/goldengen -out testdata/golden_plans.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"os"
+	"strings"
+
+	"realhf/internal/core"
+	"realhf/internal/dfg"
+	"realhf/internal/estimator"
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/mesh"
+	"realhf/internal/model"
+	"realhf/internal/parallel"
+	"realhf/internal/runtime"
+	"realhf/internal/search"
+)
+
+// goldenProblem mirrors the search tests' 2-node 7B+7B problem, so the
+// fingerprints here cross-check TestGoldenSingleChainPlans.
+func goldenProblem() (*core.Plan, *estimator.Estimator) {
+	cluster := hardware.DefaultCluster(2)
+	g := dfg.BuildPPO(dfg.Spec{Batch: 256, PromptLen: 512, GenLen: 512, Iterations: 1})
+	p := core.NewPlan(cluster, g, core.PPOModels(model.LLaMA7B, model.LLaMA7B))
+	costers := map[dfg.Role]gpumodel.ModelCoster{}
+	for role, ms := range p.Models {
+		costers[role] = gpumodel.NewOracle(cluster, ms.Cfg)
+	}
+	return p, estimator.New(cluster, costers)
+}
+
+// splitPlan is the fixed reallocation-heavy placement (actor half / critic
+// half with re-parallelized generation) whose overlapped run must beat the
+// serialized baseline.
+func splitPlan() (*core.Plan, error) {
+	cluster := hardware.DefaultCluster(2)
+	g := dfg.BuildPPO(dfg.Spec{Batch: 256, PromptLen: 512, GenLen: 512, Iterations: 1})
+	p := core.NewPlan(cluster, g, core.PPOModels(model.LLaMA7B, model.LLaMA7B))
+	m0, err := mesh.New(0, 8, 8)
+	if err != nil {
+		return nil, err
+	}
+	m1, err := mesh.New(8, 8, 8)
+	if err != nil {
+		return nil, err
+	}
+	st := parallel.Strategy{DP: 1, TP: 8, PP: 1, MicroBatches: 2}
+	stGen := parallel.Strategy{DP: 4, TP: 2, PP: 1, MicroBatches: 1}
+	p.Assign["ActorGen"] = core.Assignment{Mesh: m0, Strategy: stGen}
+	p.Assign["RefInf"] = core.Assignment{Mesh: m0, Strategy: st}
+	p.Assign["ActorTrain"] = core.Assignment{Mesh: m0, Strategy: st}
+	p.Assign["RewInf"] = core.Assignment{Mesh: m1, Strategy: st}
+	p.Assign["CriticInf"] = core.Assignment{Mesh: m1, Strategy: st}
+	p.Assign["CriticTrain"] = core.Assignment{Mesh: m1, Strategy: st}
+	return p, p.Validate()
+}
+
+// timelineHash folds a report's full timeline into one FNV-1a fingerprint:
+// any reordering or retiming of any span changes it.
+func timelineHash(rep *runtime.Report) uint64 {
+	h := fnv.New64a()
+	for _, s := range rep.Timeline {
+		fmt.Fprintf(h, "%s|%d|%d|%d|%.9e|%.9e;", s.Label, s.Kind, s.Stream, s.Lane, s.StartV, s.EndV)
+	}
+	return h.Sum64()
+}
+
+// runBoth executes a plan serialized and overlapped and renders one golden
+// line fragment. The overlapped makespan must never exceed the serialized
+// one; on plans with communication it must be strictly lower.
+func runBoth(p *core.Plan, requireStrict bool) (string, error) {
+	serial, err := runtime.RunDefault(p)
+	if err != nil {
+		return "", err
+	}
+	over, err := runtime.RunOverlapped(p)
+	if err != nil {
+		return "", err
+	}
+	if over.MakespanV > serial.MakespanV {
+		return "", fmt.Errorf("overlapped makespan %.9e exceeds serialized %.9e", over.MakespanV, serial.MakespanV)
+	}
+	if requireStrict && !(over.MakespanV < serial.MakespanV) {
+		return "", fmt.Errorf("overlap did not strictly improve a realloc-heavy plan (%.9e vs %.9e)",
+			over.MakespanV, serial.MakespanV)
+	}
+	return fmt.Sprintf("serial=%.9e overlap=%.9e comm=%.9e tl_serial=%016x tl_overlap=%016x",
+		serial.MakespanV, over.MakespanV, serial.CommTimeV,
+		timelineHash(serial), timelineHash(over)), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("out", "testdata/golden_plans.txt", "output file")
+	steps := flag.Int("steps", 600, "MCMC step bound for the pinned solves")
+	flag.Parse()
+
+	var b strings.Builder
+	b.WriteString("# Golden execution plans and runtime timings.\n")
+	b.WriteString("# Regenerate deliberately with: go run ./cmd/goldengen -out testdata/golden_plans.txt\n")
+	b.WriteString("# CI re-runs the generator and fails on `git diff --exit-code testdata/`.\n")
+
+	for _, seed := range []int64{1, 7, 42} {
+		plan, est := goldenProblem()
+		res, err := search.Search(est, plan, search.Options{MaxSteps: *steps, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs, err := runBoth(res.Plan, false)
+		if err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+		fmt.Fprintf(&b, "mcmc seed=%d steps=%d cost=%.9e fp=%s %s\n",
+			seed, *steps, res.Cost, res.Plan.Fingerprint(), runs)
+	}
+
+	split, err := splitPlan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs, err := runBoth(split, true)
+	if err != nil {
+		log.Fatalf("split plan: %v", err)
+	}
+	fmt.Fprintf(&b, "split fp=%s %s\n", split.Fingerprint(), runs)
+
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

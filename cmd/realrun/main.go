@@ -35,6 +35,8 @@ func main() {
 	steps := flag.Int("steps", 4000, "MCMC search steps (system=real)")
 	seed := flag.Int64("seed", 1, "search seed")
 	cudaGraph := flag.Bool("cudagraph", true, "capture decode kernels into CUDA graphs")
+	overlap := flag.Bool("overlap", true,
+		"overlap parameter reallocation/data transfer with computation on per-worker comm streams")
 	tcp := flag.Bool("tcp", false, "drive model workers over TCP sockets instead of channels")
 	planFile := flag.String("plan", "", "load a plan saved by realsearch -save instead of planning")
 	chromeTrace := flag.String("chrometrace", "", "write the execution timeline as a Chrome trace JSON")
@@ -78,7 +80,7 @@ func main() {
 		}
 	}
 
-	opts := runtime.Options{UseCUDAGraph: *cudaGraph}
+	opts := runtime.Options{UseCUDAGraph: *cudaGraph, OverlapComm: *overlap}
 	if *tcp {
 		static := estimator.StaticPerGPU(plan)
 		workers := make([]*runtime.ModelWorker, pr.Cluster.NumGPUs())
@@ -106,7 +108,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *chromeTrace != "" {
-		if err := trace.ExportChromeTrace(rep, plan, *chromeTrace); err != nil {
+		if err := trace.ExportChromeTrace(rep, *chromeTrace); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("timeline written to %s (open in chrome://tracing)\n", *chromeTrace)
@@ -127,9 +129,26 @@ func main() {
 	}
 	fmt.Printf("  %-14s %8.1fs\n", "comm (realloc)", rep.CommTimeV)
 	fmt.Printf("  %-14s %8.1fs\n", "end-to-end", rep.MakespanV)
-	fmt.Printf("\nThroughput: %.2f PFLOP/s   Peak memory: %.1f GB   OOM: %v\n",
-		estimator.Throughput(plan, rep.MakespanV), float64(rep.PeakBytes)/(1<<30), rep.OOM)
+	fmt.Printf("\nThroughput: %.2f PFLOP/s   Peak memory: %.1f GB   OOM: %v   OverlapComm: %v\n",
+		estimator.Throughput(plan, rep.MakespanV), float64(rep.PeakBytes)/(1<<30), rep.OOM, rep.OverlapComm)
 	for _, e := range rep.Errors {
 		fmt.Println("  worker error:", e)
+	}
+
+	// ±overlap comparison (Table-6-style ablation row): re-execute the same
+	// plan with the opposite overlap setting over fresh in-process workers.
+	// OOM runs carry truncated timings, so no ablation is printed for them.
+	if !*tcp && !rep.OOM && rep.CommTimeV > 0 {
+		other, err := runtime.Run(plan, runtime.Options{UseCUDAGraph: *cudaGraph, OverlapComm: !*overlap})
+		if err != nil {
+			log.Fatal(err)
+		}
+		serial, overlapped := rep.MakespanV, other.MakespanV
+		if *overlap {
+			serial, overlapped = other.MakespanV, rep.MakespanV
+		}
+		hidden := serial - overlapped
+		fmt.Printf("Overlap ablation: serialized %.1fs -> overlapped %.1fs (comm %.1fs, %.0f%% hidden)\n",
+			serial, overlapped, rep.CommTimeV, 100*hidden/rep.CommTimeV)
 	}
 }

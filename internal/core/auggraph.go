@@ -40,6 +40,14 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
+// CommLike reports whether the node kind is a communication node of the
+// augmented graph (parameter reallocation, data transfer, offload) rather
+// than a model function call. The runtime engine and the estimator share
+// this classification: with overlapped execution enabled, comm-like nodes
+// run on a device's communication stream, concurrent with the compute
+// stream.
+func (k Kind) CommLike() bool { return k != KindCall }
+
 // AugNode is one node of the augmented dataflow graph Gp. Transfer-style
 // nodes occupy both endpoint meshes; call nodes occupy exactly their
 // assignment's mesh.

@@ -31,6 +31,14 @@ type Estimator struct {
 	// tables in the real pipeline, or the oracle directly for ground truth.
 	Costers map[dfg.Role]gpumodel.ModelCoster
 	Comm    gpumodel.Comm
+	// OverlapComm mirrors the runtime engine's option of the same name:
+	// when set, Algorithm 1's simulation gives every device a second lane
+	// for communication nodes (core.Kind.CommLike), so parameter
+	// reallocation, data transfer and offload overlap with computation
+	// instead of serializing on the device. The default (false) keeps the
+	// historical fully-serialized schedule, so search results and golden
+	// plans are unaffected unless a caller opts in.
+	OverlapComm bool
 }
 
 // New builds an estimator over the given per-role cost sources.
@@ -200,7 +208,7 @@ func (e *Estimator) EvaluateWith(p *core.Plan, dur DurationFunc) (*Result, error
 		durations[n.ID] = d
 	}
 
-	timeline, makespan := simulate(g, durations, e.HW.NumGPUs())
+	timeline, makespan := simulate(g, durations, e.HW.NumGPUs(), e.OverlapComm)
 
 	maxMem, staticTotal := e.memory(p)
 	res := &Result{
@@ -227,17 +235,32 @@ func (e *Estimator) EvaluateWith(p *core.Plan, dur DurationFunc) (*Result, error
 }
 
 // simulate is Algorithm 1: nodes become ready when all parents finish; the
-// earliest-ready node starts at max(ready, last end time of any device it
-// occupies); devices record the node's end. The makespan is the max end
+// earliest-ready node starts at max(ready, last end time of any device lane
+// it occupies); devices record the node's end. The makespan is the max end
 // time.
-func simulate(g *core.AugGraph, durations []float64, numGPUs int) ([]ScheduledNode, float64) {
+//
+// With overlap disabled each device is a single lane and the schedule is
+// bit-identical to the historical simulation. With overlap enabled each
+// device has a compute lane and a communication lane: communication nodes
+// (core.Kind.CommLike) only serialize against other communication on the
+// same device, mirroring the runtime engine's per-worker streams.
+func simulate(g *core.AugGraph, durations []float64, numGPUs int, overlap bool) ([]ScheduledNode, float64) {
 	indeg := make([]int, len(g.Nodes))
 	readyAt := make([]float64, len(g.Nodes))
-	endAt := make([]float64, len(g.Nodes))
 	for _, n := range g.Nodes {
 		indeg[n.ID] = len(n.Parents)
 	}
-	lastEnd := make([]float64, numGPUs)
+	lanes := 1
+	if overlap {
+		lanes = 2
+	}
+	lastEnd := make([]float64, numGPUs*lanes)
+	laneOf := func(n *core.AugNode) int {
+		if overlap && n.Kind.CommLike() {
+			return 1
+		}
+		return 0
+	}
 
 	var q readyQueue
 	for _, n := range g.Nodes {
@@ -250,19 +273,19 @@ func simulate(g *core.AugGraph, durations []float64, numGPUs int) ([]ScheduledNo
 	for q.Len() > 0 {
 		it := heap.Pop(&q).(readyItem)
 		n := g.Nodes[it.id]
+		lane := laneOf(n)
 		start := it.ready
 		for _, m := range n.Meshes {
 			for gpu := m.First; gpu < m.First+m.Count && gpu < numGPUs; gpu++ {
-				if lastEnd[gpu] > start {
-					start = lastEnd[gpu]
+				if lastEnd[gpu*lanes+lane] > start {
+					start = lastEnd[gpu*lanes+lane]
 				}
 			}
 		}
 		end := start + durations[it.id]
-		endAt[it.id] = end
 		for _, m := range n.Meshes {
 			for gpu := m.First; gpu < m.First+m.Count && gpu < numGPUs; gpu++ {
-				lastEnd[gpu] = end
+				lastEnd[gpu*lanes+lane] = end
 			}
 		}
 		timeline = append(timeline, ScheduledNode{Node: n, Start: start, End: end, Duration: durations[it.id]})

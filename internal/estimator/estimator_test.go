@@ -287,3 +287,118 @@ func TestEvaluateUnassignedPlanFails(t *testing.T) {
 		t.Error("unassigned plan must fail evaluation")
 	}
 }
+
+// overlapTestPlan builds a plan with reallocation traffic: the generation
+// call runs on a sub-mesh with a different strategy.
+func overlapTestPlan(t *testing.T) *core.Plan {
+	t.Helper()
+	p := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B)
+	genMesh, _ := mesh.New(0, 8, 8)
+	p.Assign["ActorGen"] = core.Assignment{
+		Mesh:     genMesh,
+		Strategy: parallel.Strategy{DP: 4, TP: 2, PP: 1, MicroBatches: 1},
+	}
+	return p
+}
+
+// TestOverlapLowersTimeCost: the overlap-aware simulation gives comm nodes
+// their own device lane, so a realloc-heavy plan costs strictly less than
+// under the serialized schedule, and no plan ever costs more.
+func TestOverlapLowersTimeCost(t *testing.T) {
+	p := overlapTestPlan(t)
+	serial := newEstimator(p)
+	over := newEstimator(p)
+	over.OverlapComm = true
+	sres, err := serial.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := over.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.TimeCost >= sres.TimeCost {
+		t.Errorf("overlap estimate %.4fs must be strictly below serialized %.4fs",
+			ores.TimeCost, sres.TimeCost)
+	}
+
+	sym := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B)
+	se := newEstimator(sym)
+	oe := newEstimator(sym)
+	oe.OverlapComm = true
+	s2, err := se.Evaluate(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := oe.Evaluate(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No comm nodes: the two schedules are identical.
+	if o2.TimeCost != s2.TimeCost {
+		t.Errorf("symmetric plan: overlap %.6f != serialized %.6f", o2.TimeCost, s2.TimeCost)
+	}
+}
+
+// TestOverlapDefaultOffPreservesSchedule: the zero-value Estimator keeps the
+// historical fully-serialized simulation — the schedule byte-matches a
+// second serialized estimator, and comm nodes still exclude calls on their
+// devices.
+func TestOverlapDefaultOffPreservesSchedule(t *testing.T) {
+	p := overlapTestPlan(t)
+	a, err := newEstimator(p).Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newEstimator(p).Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeCost != b.TimeCost || len(a.Timeline) != len(b.Timeline) {
+		t.Fatal("serialized evaluation must be reproducible")
+	}
+	for i := range a.Timeline {
+		if a.Timeline[i].Start != b.Timeline[i].Start || a.Timeline[i].End != b.Timeline[i].End {
+			t.Fatalf("timeline entry %d drifted", i)
+		}
+	}
+}
+
+// TestOverlapKeepsMeshExclusionWithinStream: even with overlap on, two comm
+// nodes sharing a device never run concurrently — only the cross-stream
+// pairing (call vs comm) may intersect in time.
+func TestOverlapKeepsMeshExclusionWithinStream(t *testing.T) {
+	p := overlapTestPlan(t)
+	e := newEstimator(p)
+	e.OverlapComm = true
+	res, err := e.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct {
+		n          *core.AugNode
+		start, end float64
+	}
+	var comm []span
+	for _, sn := range res.Timeline {
+		if sn.Node.Kind.CommLike() {
+			comm = append(comm, span{sn.Node, sn.Start, sn.End})
+		}
+	}
+	if len(comm) < 2 {
+		t.Skip("plan produced fewer than two comm nodes")
+	}
+	for i := 0; i < len(comm); i++ {
+		for j := i + 1; j < len(comm); j++ {
+			if !comm[i].n.Overlaps(comm[j].n) {
+				continue
+			}
+			if comm[i].start < comm[j].end-1e-12 && comm[j].start < comm[i].end-1e-12 {
+				if comm[i].end-comm[i].start > 0 && comm[j].end-comm[j].start > 0 {
+					t.Errorf("comm nodes %q and %q overlap in time on a shared device",
+						comm[i].n.Label, comm[j].n.Label)
+				}
+			}
+		}
+	}
+}

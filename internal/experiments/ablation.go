@@ -207,6 +207,95 @@ func AblationNoRealloc(nodes, steps int) ([]AblationRow, string, error) {
 	return rows, b.String(), nil
 }
 
+// OverlapRow is one row of the ±overlap runtime ablation.
+type OverlapRow struct {
+	Setting string
+	Plan    string // "searched" or "split"
+	// SerialE2E and OverlapE2E are the end-to-end virtual times with the
+	// runtime's communication overlap off and on.
+	SerialE2E, OverlapE2E float64
+	// CommTimeV is the total reallocation/transfer/offload time spent.
+	CommTimeV float64
+	// HiddenFrac is the fraction of CommTimeV the overlapped engine hid
+	// behind computation: (serial - overlap) / comm.
+	HiddenFrac float64
+}
+
+// AblationOverlap quantifies the runtime engine's communication overlap
+// (§6): for each setting it executes both a searched plan and the
+// reallocation-heavy split placement with the comm stream disabled and
+// enabled. The overlapped makespan can never exceed the serialized one, and
+// on reallocation-heavy plans it is strictly lower — the Table-6-style
+// ±overlap comparison.
+func AblationOverlap(nodes, steps int) ([]OverlapRow, string, error) {
+	settings := []Setting{
+		PaperSetting(nodes, model.LLaMA7B, model.LLaMA7B),
+		PaperSetting(nodes, model.LLaMA13B, model.LLaMA7B),
+	}
+	var rows []OverlapRow
+	for i, s := range settings {
+		pr, err := NewProblem(s)
+		if err != nil {
+			return nil, "", err
+		}
+		searched, err := pr.SearchPlan(steps, int64(30+i))
+		if err != nil {
+			return nil, "", err
+		}
+		split, err := splitPlan(pr)
+		if err != nil {
+			return nil, "", err
+		}
+		// Re-parallelize generation on its half so the split plan carries
+		// real parameter-reallocation traffic (the role-uniform split only
+		// moves activations).
+		if a, ok := split.Assign["ActorGen"]; ok {
+			gen := a
+			gen.Strategy = parallel.Strategy{
+				DP: a.Mesh.NumGPUs() / 2, TP: 2, PP: 1, MicroBatches: 1,
+			}
+			trial := split.Clone()
+			trial.Assign["ActorGen"] = gen
+			if trial.Validate() == nil {
+				split = trial
+			}
+		}
+		for _, cand := range []struct {
+			name string
+			plan *core.Plan
+		}{{"searched", searched.Plan}, {"split", split}} {
+			serial, err := runtime.RunDefault(cand.plan)
+			if err != nil {
+				return nil, "", err
+			}
+			over, err := runtime.RunOverlapped(cand.plan)
+			if err != nil {
+				return nil, "", err
+			}
+			row := OverlapRow{
+				Setting:    fmt.Sprintf("%s+%s/%dgpu", s.Actor.Name, s.Critic.Name, s.Nodes*8),
+				Plan:       cand.name,
+				SerialE2E:  serial.MakespanV,
+				OverlapE2E: over.MakespanV,
+				CommTimeV:  serial.CommTimeV,
+			}
+			if row.CommTimeV > 0 {
+				row.HiddenFrac = (row.SerialE2E - row.OverlapE2E) / row.CommTimeV
+			}
+			rows = append(rows, row)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(header("Ablation: runtime communication overlap (±OverlapComm)"))
+	fmt.Fprintf(&b, "%-16s %-9s %10s %10s %9s %8s\n",
+		"Setting", "Plan", "Serial(s)", "Overlap(s)", "Comm(s)", "Hidden")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-9s %10.1f %10.1f %9.1f %7.0f%%\n",
+			r.Setting, r.Plan, r.SerialE2E, r.OverlapE2E, r.CommTimeV, 100*r.HiddenFrac)
+	}
+	return rows, b.String(), nil
+}
+
 // splitPlan assigns actor-side calls (actor + ref) to the first half of the
 // cluster and critic-side calls (critic + reward) to the second half — the
 // layout whose cross-iteration overlap the concatenated graph can exploit:

@@ -172,8 +172,16 @@ func (pr *Problem) HeuristicPlan() (*core.Plan, error) {
 // Measure executes a plan on the simulated cluster and returns the run
 // report plus its per-iteration throughput in PFLOP/s. Runs that hit OOM
 // report zero throughput — the paper plots such configurations as failures.
+// The schedule is the serialized baseline; MeasureWith exposes the ±overlap
+// knob.
 func (pr *Problem) Measure(p *core.Plan) (*runtime.Report, float64, error) {
-	rep, err := runtime.RunDefault(p)
+	return pr.MeasureWith(p, runtime.Options{UseCUDAGraph: true})
+}
+
+// MeasureWith is Measure under explicit runtime options (e.g. OverlapComm
+// for the overlapped engine of §6).
+func (pr *Problem) MeasureWith(p *core.Plan, opts runtime.Options) (*runtime.Report, float64, error) {
+	rep, err := runtime.Run(p, opts)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -52,6 +52,11 @@ type BreakdownCase struct {
 	HeuristicE2E   [2]float64
 	SearchedGen    [2]float64
 	HeuristicGen   [2]float64
+	// SearchedE2EOverlap / HeuristicE2EOverlap are the end-to-end times
+	// with CUDA graphs on and the runtime's communication overlap enabled
+	// (the ±overlap rows of the Table 6 analogue).
+	SearchedE2EOverlap  float64
+	HeuristicE2EOverlap float64
 }
 
 // RunBreakdownCase searches and measures one Table 6 column.
@@ -87,6 +92,16 @@ func RunBreakdownCase(name string, s Setting, steps int, seed int64) (*Breakdown
 			bc.HeuristicTimes = hRep.CallTimes
 		}
 	}
+	sOv, err := runtime.RunOverlapped(res.Plan)
+	if err != nil {
+		return nil, err
+	}
+	hOv, err := runtime.RunOverlapped(heur)
+	if err != nil {
+		return nil, err
+	}
+	bc.SearchedE2EOverlap = sOv.MakespanV
+	bc.HeuristicE2EOverlap = hOv.MakespanV
 	return bc, nil
 }
 
@@ -152,6 +167,11 @@ func Tables2to6(steps int, quick bool) (string, []*BreakdownCase, error) {
 	fmt.Fprintf(&b, "%-28s", "End2End (w/o CUDAGraph)")
 	for _, c := range cases {
 		fmt.Fprintf(&b, " %10.1f %10.1f", c.SearchedE2E[1], c.HeuristicE2E[1])
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-28s", "End2End (+OverlapComm)")
+	for _, c := range cases {
+		fmt.Fprintf(&b, " %10.1f %10.1f", c.SearchedE2EOverlap, c.HeuristicE2EOverlap)
 	}
 	b.WriteString("\n")
 	return b.String(), cases, nil

@@ -38,11 +38,11 @@ func (s Schedule) TotalBytes() int64 {
 	return b
 }
 
-// Cost estimates the schedule's wall time on a cluster: every GPU
-// accumulates busy time for the broadcasts it sends or receives, and the
-// schedule finishes when the busiest GPU does — sources broadcast in
-// parallel, as in the paper.
-func (s Schedule) Cost(hw hardware.Cluster) float64 {
+// BusyPerGPU returns each device's busy time under the schedule: a GPU
+// accumulates the cost of every broadcast it sends or receives. The runtime
+// engine charges these per-device durations to each worker's communication
+// stream, so a redistribution only occupies the GPUs it actually touches.
+func (s Schedule) BusyPerGPU(hw hardware.Cluster) map[int]float64 {
 	comm := gpumodel.Comm{HW: hw}
 	busy := map[int]float64{}
 	for _, op := range s.Ops {
@@ -60,8 +60,15 @@ func (s Schedule) Cost(hw hardware.Cluster) float64 {
 			busy[d] += t
 		}
 	}
+	return busy
+}
+
+// Cost estimates the schedule's wall time on a cluster: the schedule
+// finishes when the busiest GPU does — sources broadcast in parallel, as in
+// the paper.
+func (s Schedule) Cost(hw hardware.Cluster) float64 {
 	var max float64
-	for _, t := range busy {
+	for _, t := range s.BusyPerGPU(hw) {
 		if t > max {
 			max = t
 		}

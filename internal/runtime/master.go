@@ -1,7 +1,10 @@
 package runtime
 
 import (
+	"container/heap"
+	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"realhf/internal/core"
@@ -17,9 +20,20 @@ type Options struct {
 	// UseCUDAGraph enables CUDA-graph capture for decoding kernels
 	// (Table 6's ±CUDAGraph comparison). Default true.
 	UseCUDAGraph bool
+	// OverlapComm routes parameter-reallocation, data-transfer and offload
+	// nodes to each worker's communication stream, so they execute
+	// concurrently with model function calls on the compute stream (§6's
+	// overlapped runtime). When false, every node shares the compute stream
+	// and the schedule is fully serialized per device — the baseline side of
+	// the ±overlap ablation.
+	OverlapComm bool
+	// Context, when set, cancels an in-flight run: Run returns the partial
+	// report accumulated so far together with a wrapping error.
+	Context context.Context
 	// Transport overrides the default in-process transport. When set, the
 	// caller owns worker setup and teardown; StaticBytes must already be
-	// populated on the workers.
+	// populated on the workers, and Workers must be provided for memory
+	// reporting.
 	Transport Transport
 	// Workers must accompany a custom Transport (for peak reporting).
 	Workers []*ModelWorker
@@ -27,8 +41,13 @@ type Options struct {
 
 // NodeSpan is one executed node of the run timeline.
 type NodeSpan struct {
-	Label  string
-	Kind   core.Kind
+	Label string
+	Kind  core.Kind
+	// Stream is the worker lane the node executed on.
+	Stream Stream
+	// Lane is the first GPU of the node's meshes — the track the Chrome
+	// trace exporter places the span on.
+	Lane   int
 	StartV float64
 	EndV   float64
 }
@@ -40,18 +59,20 @@ type Report struct {
 	MakespanV float64
 	// Iterations is the number of RLHF iterations the graph spanned.
 	Iterations int
+	// OverlapComm echoes the option the run executed under.
+	OverlapComm bool
 	// CallTimes maps call names to their iteration-0 virtual durations
 	// (Table 6 rows).
 	CallTimes map[string]float64
 	// CallBreakdowns carries the kernel-category split per call (Fig. 11).
 	CallBreakdowns map[string]gpumodel.Breakdown
 	// CommTimeV totals parameter reallocation + data transfer + offload
-	// time across the run.
+	// time across the run (independent of whether it was overlapped).
 	CommTimeV float64
 	// Timeline lists every executed node.
 	Timeline []NodeSpan
 	// OOM reports whether any worker ran out of memory; Errors carries the
-	// worker messages.
+	// worker messages (sorted for reproducibility).
 	OOM    bool
 	Errors []string
 	// PeakBytes is the max observed memory over all workers.
@@ -67,7 +88,12 @@ func (r *Report) IterTime() float64 {
 }
 
 // Master is the centralized controller of §6: it owns the augmented graph,
-// resolves dependencies, and drives model workers through a Transport.
+// resolves dependencies with an event-driven ready-queue scheduler, and
+// drives model workers through a Transport. Workers execute concurrently on
+// their own goroutines; the master's conservative dispatch gate (see Run)
+// keeps every per-stream request sequence deterministic, so the virtual
+// timeline is byte-reproducible run to run regardless of goroutine
+// scheduling.
 type Master struct {
 	plan    *core.Plan
 	hw      hardware.Cluster
@@ -94,17 +120,25 @@ func NewMaster(p *core.Plan, opts Options) *Master {
 }
 
 // Run executes the plan: it validates and expands it into the augmented
-// graph, spawns (or adopts) model workers, and runs the dependency-resolving
+// graph, spawns (or adopts) model workers, and runs the event-driven
 // dispatch loop until every node completes.
 func Run(p *core.Plan, opts Options) (*Report, error) {
 	m := NewMaster(p, opts)
 	return m.Run()
 }
 
-// RunDefault executes the plan with CUDA graphs enabled over the in-process
-// transport.
+// RunDefault executes the plan with CUDA graphs enabled and communication
+// overlap disabled over the in-process transport — the serialized reference
+// schedule (the historical default, and the baseline of the ±overlap
+// ablation).
 func RunDefault(p *core.Plan) (*Report, error) {
 	return Run(p, Options{UseCUDAGraph: true})
+}
+
+// RunOverlapped executes the plan with CUDA graphs and communication
+// overlap both enabled — the paper's full runtime configuration.
+func RunOverlapped(p *core.Plan) (*Report, error) {
+	return Run(p, Options{UseCUDAGraph: true, OverlapComm: true})
 }
 
 // nodeWork is the master's precomputed knowledge about one augmented node.
@@ -152,12 +186,12 @@ func (m *Master) prepare(g *core.AugGraph) ([]nodeWork, error) {
 			ms := m.plan.Models[n.Role]
 			sched := realloc.PlanParams(ms.Cfg.NumLayers, ms.Cfg.LayerParamBytes(),
 				n.Src, n.Dst, m.hw.GPUsPerNode)
-			w.durByGPU = m.scheduleBusy(sched)
-			w.dur = sched.Cost(m.hw)
+			w.durByGPU = sched.BusyPerGPU(m.hw)
+			w.dur = maxBusy(w.durByGPU)
 		case core.KindDataTransfer:
 			sched := realloc.PlanData(n.Bytes, n.Src, n.Dst, m.hw.GPUsPerNode)
-			w.durByGPU = m.scheduleBusy(sched)
-			w.dur = sched.Cost(m.hw)
+			w.durByGPU = sched.BusyPerGPU(m.hw)
+			w.dur = maxBusy(w.durByGPU)
 		case core.KindOffload:
 			perGPU := n.Bytes / int64(n.Dst.Mesh.NumGPUs())
 			w.dur = m.comm.Offload(perGPU)
@@ -167,29 +201,70 @@ func (m *Master) prepare(g *core.AugGraph) ([]nodeWork, error) {
 	return works, nil
 }
 
-// scheduleBusy converts a broadcast schedule into per-GPU busy durations.
-func (m *Master) scheduleBusy(s realloc.Schedule) map[int]float64 {
-	busy := map[int]float64{}
-	for _, op := range s.Ops {
-		cross := false
-		srcNode := op.SrcGPU / m.hw.GPUsPerNode
-		for _, d := range op.DstGPUs {
-			if d/m.hw.GPUsPerNode != srcNode {
-				cross = true
-				break
-			}
-		}
-		t := m.comm.Broadcast(op.Bytes, cross)
-		busy[op.SrcGPU] += t
-		for _, d := range op.DstGPUs {
-			busy[d] += t
+// maxBusy is Schedule.Cost over an already-computed busy map.
+func maxBusy(busy map[int]float64) float64 {
+	var max float64
+	for _, t := range busy {
+		if t > max {
+			max = t
 		}
 	}
-	return busy
+	return max
 }
 
-// Run drives the dispatch loop.
+// readyItem orders the master's dispatch queue by (ready time, comm-first,
+// node ID) — a total, deterministic order. Communication nodes win ready
+// ties: a transfer is cheap and unblocks a remote mesh, so queueing it
+// behind an equally-ready long call on its source mesh would stall the
+// destination pipeline for the call's whole duration (the estimator's
+// schedule and the paper's engine both let transfers slip in first).
+type readyItem struct {
+	ready float64
+	comm  bool
+	id    int
+}
+
+type readyHeap []readyItem
+
+func (q readyHeap) Len() int { return len(q) }
+func (q readyHeap) Less(i, j int) bool {
+	if q[i].ready != q[j].ready {
+		return q[i].ready < q[j].ready
+	}
+	if q[i].comm != q[j].comm {
+		return q[i].comm
+	}
+	return q[i].id < q[j].id
+}
+func (q readyHeap) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *readyHeap) Push(x any)   { *q = append(*q, x.(readyItem)) }
+func (q *readyHeap) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Run drives the event-driven dispatch loop.
+//
+// Determinism: workers run concurrently, and replies arrive in arbitrary
+// physical order, but the virtual timeline they produce is a pure function
+// of the per-(worker, stream) request order — which the master keeps
+// deterministic with a conservative gate. A ready node (all parents
+// complete) is dispatched only when its ready time is strictly below every
+// in-flight node's earliest possible completion (readyV + dispatch
+// overhead): since any future node's ready time is at least that bound, the
+// global dispatch sequence is exactly the (ready time, node ID)-sorted
+// order, independent of goroutine scheduling and reply arrival order.
 func (m *Master) Run() (*Report, error) {
+	ctx := m.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if m.opts.Transport != nil && len(m.opts.Workers) == 0 {
+		return nil, fmt.Errorf("runtime: custom Transport requires Options.Workers (memory accounting needs the worker set)")
+	}
 	g, err := m.plan.BuildAugGraph()
 	if err != nil {
 		return nil, err
@@ -216,30 +291,60 @@ func (m *Master) Run() (*Report, error) {
 	}
 
 	report := &Report{
+		OverlapComm:    m.opts.OverlapComm,
 		CallTimes:      map[string]float64{},
 		CallBreakdowns: map[string]gpumodel.Breakdown{},
 	}
 
-	pending := make([]int, len(g.Nodes)) // outstanding parent count
-	readyV := make([]float64, len(g.Nodes))
-	outstanding := make([]int, len(g.Nodes)) // replies still expected
-	startV := make([]float64, len(g.Nodes))
-	endV := make([]float64, len(g.Nodes))
+	total := len(g.Nodes)
+	pending := make([]int, total) // outstanding parent count
+	readyV := make([]float64, total)
+	outstanding := make([]int, total) // replies still expected
+	startV := make([]float64, total)  // min start over the node's replies
+	endV := make([]float64, total)    // max end over the node's replies
+	done := make([]bool, total)
 	for i := range startV {
-		startV[i] = -1
+		startV[i] = math.MaxFloat64
+	}
+
+	streamFor := func(k core.Kind) Stream {
+		if m.opts.OverlapComm {
+			return StreamOf(k)
+		}
+		return StreamCompute
+	}
+
+	var ready readyHeap
+	inflight := map[int]float64{} // id -> lower bound on completion time
+
+	// minInflightBound is the earliest virtual time any in-flight node can
+	// complete — the dispatch gate. Map iteration order does not matter:
+	// min is order-independent.
+	minInflightBound := func() (float64, bool) {
+		if len(inflight) == 0 {
+			return 0, false
+		}
+		min := math.MaxFloat64
+		for _, b := range inflight {
+			if b < min {
+				min = b
+			}
+		}
+		return min, true
 	}
 
 	dispatch := func(id int) error {
 		w := works[id]
+		s := streamFor(w.node.Kind)
 		for _, gpu := range w.gpus {
 			dur := w.dur
 			if w.durByGPU != nil {
 				dur = w.durByGPU[gpu]
 			}
 			req := Request{
-				ID: id, Kind: ReqRunCall, NodeID: id, Label: w.node.Label,
-				Handle: string(w.node.Role), ReadyV: readyV[id], DurV: dur,
-				AllocBytes: w.alloc,
+				ID: id, Kind: ReqRunCall, NodeID: id, Stream: s,
+				Label: w.node.Label, Handle: string(w.node.Role),
+				ReadyV: readyV[id], DurV: dur, AllocBytes: w.alloc,
 			}
 			if w.node.Kind != core.KindCall {
 				req.Kind = ReqComm
@@ -250,28 +355,12 @@ func (m *Master) Run() (*Report, error) {
 			}
 		}
 		outstanding[id] = len(w.gpus)
+		inflight[id] = readyV[id] + dispatchOverheadV
 		return nil
 	}
 
-	inFlight := 0
-	for _, n := range g.Nodes {
-		pending[n.ID] = len(n.Parents)
-	}
-	for _, n := range g.Nodes {
-		if pending[n.ID] == 0 {
-			if err := dispatch(n.ID); err != nil {
-				return nil, err
-			}
-			inFlight++
-		}
-	}
-
-	iters := 0
-	for inFlight > 0 {
-		rep, ok := <-transport.Replies()
-		if !ok {
-			return nil, fmt.Errorf("runtime: transport closed with %d nodes in flight", inFlight)
-		}
+	completed := 0
+	handleReply := func(rep Reply) {
 		if rep.OOM {
 			report.OOM = true
 			report.Errors = append(report.Errors, rep.Error)
@@ -280,53 +369,122 @@ func (m *Master) Run() (*Report, error) {
 		if rep.EndV > endV[id] {
 			endV[id] = rep.EndV
 		}
+		if rep.StartV < startV[id] {
+			startV[id] = rep.StartV
+		}
 		outstanding[id]--
 		if outstanding[id] > 0 {
-			continue
+			return
 		}
-		// Node complete.
-		inFlight--
-		n := g.Nodes[id]
-		w := works[id]
-		report.Timeline = append(report.Timeline, NodeSpan{
-			Label: n.Label, Kind: n.Kind, StartV: endV[id] - w.dur, EndV: endV[id],
-		})
-		if endV[id] > report.MakespanV {
-			report.MakespanV = endV[id]
-		}
-		switch n.Kind {
-		case core.KindCall:
-			if n.Call.Iter+1 > iters {
-				iters = n.Call.Iter + 1
-			}
-			if n.Call.Iter == 0 {
-				report.CallTimes[n.Call.Name] = w.dur
-				report.CallBreakdowns[n.Call.Name] = w.breakdown
-			}
-		default:
-			report.CommTimeV += w.dur
-		}
-		for _, c := range n.Children {
+		// Node complete: release the gate and unlock children.
+		done[id] = true
+		completed++
+		delete(inflight, id)
+		for _, c := range g.Nodes[id].Children {
 			if endV[id] > readyV[c] {
 				readyV[c] = endV[id]
 			}
 			pending[c]--
 			if pending[c] == 0 {
-				if err := dispatch(c); err != nil {
-					return nil, err
-				}
-				inFlight++
+				heap.Push(&ready, readyItem{ready: readyV[c], comm: g.Nodes[c].Kind.CommLike(), id: c})
 			}
 		}
 	}
-	report.Iterations = iters
-	for _, w := range workers {
-		if w != nil && w.Peak() > report.PeakBytes {
-			report.PeakBytes = w.Peak()
+
+	// finish assembles the deterministic report from per-node results,
+	// independent of reply arrival order: nodes are folded in ID order and
+	// the error list is sorted.
+	finish := func() {
+		iters := 0
+		for _, n := range g.Nodes {
+			if !done[n.ID] {
+				continue
+			}
+			w := works[n.ID]
+			report.Timeline = append(report.Timeline, NodeSpan{
+				Label: n.Label, Kind: n.Kind, Stream: streamFor(n.Kind),
+				Lane: w.gpus[0], StartV: startV[n.ID], EndV: endV[n.ID],
+			})
+			if endV[n.ID] > report.MakespanV {
+				report.MakespanV = endV[n.ID]
+			}
+			switch n.Kind {
+			case core.KindCall:
+				if n.Call.Iter+1 > iters {
+					iters = n.Call.Iter + 1
+				}
+				if n.Call.Iter == 0 {
+					report.CallTimes[n.Call.Name] = w.dur
+					report.CallBreakdowns[n.Call.Name] = w.breakdown
+				}
+			default:
+				report.CommTimeV += w.dur
+			}
+		}
+		report.Iterations = iters
+		for _, w := range workers {
+			if w != nil && w.Peak() > report.PeakBytes {
+				report.PeakBytes = w.Peak()
+			}
+		}
+		sort.Strings(report.Errors)
+		sort.SliceStable(report.Timeline, func(i, j int) bool {
+			return report.Timeline[i].StartV < report.Timeline[j].StartV
+		})
+	}
+
+	for _, n := range g.Nodes {
+		pending[n.ID] = len(n.Parents)
+	}
+	for _, n := range g.Nodes {
+		if pending[n.ID] == 0 {
+			heap.Push(&ready, readyItem{ready: 0, comm: n.Kind.CommLike(), id: n.ID})
 		}
 	}
-	sort.Slice(report.Timeline, func(i, j int) bool {
-		return report.Timeline[i].StartV < report.Timeline[j].StartV
-	})
+
+	for completed < total {
+		// Dispatch every node the gate admits, draining replies
+		// opportunistically so queues never back up. Handling a reply
+		// early never changes the dispatch sequence — the gate already
+		// forbids any pop the extra knowledge could reorder.
+		for ready.Len() > 0 {
+			if bound, ok := minInflightBound(); ok && ready[0].ready >= bound {
+				break
+			}
+			it := heap.Pop(&ready).(readyItem)
+			if err := dispatch(it.id); err != nil {
+				return nil, err
+			}
+			for drained := false; !drained; {
+				select {
+				case rep, ok := <-transport.Replies():
+					if !ok {
+						return nil, fmt.Errorf("runtime: transport closed with %d nodes in flight", len(inflight))
+					}
+					handleReply(rep)
+				default:
+					drained = true
+				}
+			}
+		}
+		if completed == total {
+			break
+		}
+		if len(inflight) == 0 {
+			return nil, fmt.Errorf("runtime: scheduler stalled with %d/%d nodes complete", completed, total)
+		}
+		select {
+		case <-ctx.Done():
+			finish()
+			return report, fmt.Errorf("runtime: run cancelled with %d/%d nodes complete: %w",
+				completed, total, ctx.Err())
+		case rep, ok := <-transport.Replies():
+			if !ok {
+				return nil, fmt.Errorf("runtime: transport closed with %d nodes in flight", len(inflight))
+			}
+			handleReply(rep)
+		}
+	}
+	finish()
 	return report, nil
 }

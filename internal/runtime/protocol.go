@@ -1,17 +1,28 @@
 // Package runtime implements the paper's runtime engine (§6): a centralized
 // master worker that resolves the dependencies of the augmented dataflow
 // graph and dispatches requests to per-GPU model workers, which execute them
-// in FIFO order and reply with completion information. Requests carry no
+// in stream order and reply with completion information. Requests carry no
 // tensor data — data stays resident on worker GPUs and the master only
 // communicates locations and timing, exactly as in the paper.
 //
 // Since no physical GPUs exist here (DESIGN.md §2), workers execute against
-// a simulated device: each worker owns a virtual clock and a memory ledger,
-// and request durations come from the gpumodel oracle. Everything else — the
-// dependency engine, the dispatch protocol, the per-GPU queues, parameter
-// reallocation and data-transfer scheduling — runs for real, over either
-// in-process channels or TCP sockets with gob encoding.
+// a simulated device: each worker owns one virtual clock per stream and a
+// memory ledger, and request durations come from the gpumodel oracle.
+// Everything else — the event-driven dependency engine, the dispatch
+// protocol, the per-GPU per-stream queues, parameter reallocation and
+// data-transfer scheduling — runs for real, over either in-process channels
+// or TCP sockets with gob encoding.
+//
+// Each worker exposes two streams, mirroring a CUDA device's compute and
+// copy engines: model function calls execute on StreamCompute; parameter
+// reallocation, data transfer and offload traffic execute on StreamComm.
+// With Options.OverlapComm enabled the two streams advance independently, so
+// reallocation latency hides behind computation (the paper's §6 overlap);
+// with it disabled the master routes every request to StreamCompute,
+// recovering the fully serialized baseline schedule (the ±overlap ablation).
 package runtime
+
+import "realhf/internal/core"
 
 // RequestKind classifies master->worker requests.
 type RequestKind int
@@ -38,13 +49,52 @@ func (k RequestKind) String() string {
 	return "unknown"
 }
 
+// Stream identifies one of a worker's execution lanes.
+type Stream int
+
+const (
+	// StreamCompute runs model function calls (and, with overlap disabled,
+	// everything else too).
+	StreamCompute Stream = iota
+	// StreamComm runs parameter-reallocation, data-transfer and offload
+	// requests when Options.OverlapComm is set.
+	StreamComm
+	// NumStreams is the number of lanes per worker.
+	NumStreams = 2
+)
+
+func (s Stream) String() string {
+	switch s {
+	case StreamCompute:
+		return "compute"
+	case StreamComm:
+		return "comm"
+	}
+	return "stream?"
+}
+
+// StreamOf maps an augmented-graph node kind to the stream it executes on
+// when overlapped execution is enabled. The estimator's overlap-aware
+// simulation uses the same core.Kind.CommLike classification, keeping both
+// sides of the Fig. 12 comparison on one semantics.
+func StreamOf(k core.Kind) Stream {
+	if k.CommLike() {
+		return StreamComm
+	}
+	return StreamCompute
+}
+
 // Request is one master->worker message. The master pre-computes the virtual
 // duration of the worker's share of the node; the worker applies its local
-// clock, checks memory, and answers with its end time.
+// stream clock, checks memory, and answers with its start and end times.
 type Request struct {
 	ID     int
 	Kind   RequestKind
 	NodeID int
+	// Stream selects the worker lane the request executes on. Requests on
+	// different streams overlap in virtual time; requests sharing a stream
+	// serialize in arrival order.
+	Stream Stream
 	// Label is the augmented-graph node label (diagnostics).
 	Label string
 	// Handle is the local LLM handle the request addresses (e.g. "actor").
@@ -61,16 +111,17 @@ type Request struct {
 
 // Reply is one worker->master message.
 type Reply struct {
-	ID    int
-	GPU   int
-	EndV  float64
-	OOM   bool
-	Error string
+	ID     int
+	GPU    int
+	StartV float64
+	EndV   float64
+	OOM    bool
+	Error  string
 }
 
 // Transport moves requests and replies between the master and workers.
 type Transport interface {
-	// Send enqueues a request on the given worker's FIFO queue.
+	// Send enqueues a request on the given worker's stream FIFO queue.
 	Send(gpu int, req Request) error
 	// Replies yields worker replies in arrival order.
 	Replies() <-chan Reply

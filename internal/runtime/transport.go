@@ -7,35 +7,41 @@ import (
 	"sync"
 )
 
-// ChanTransport runs each model worker as a goroutine fed by a buffered
-// channel — the in-process transport used by tests, benchmarks and the
-// default Run path.
+// ChanTransport runs each model worker as a pair of stream goroutines fed by
+// buffered channels — the in-process transport used by tests, benchmarks and
+// the default Run path. One goroutine per (worker, stream) keeps requests on
+// a stream in FIFO order while compute and communication requests for the
+// same worker execute concurrently.
 type ChanTransport struct {
-	queues  []chan Request
+	queues  [][]chan Request // [gpu][stream]
 	replies chan Reply
 	wg      sync.WaitGroup
 	once    sync.Once
 }
 
-// NewChanTransport starts one worker goroutine per device.
+// NewChanTransport starts one goroutine per device stream.
 func NewChanTransport(workers []*ModelWorker) *ChanTransport {
 	t := &ChanTransport{
-		queues:  make([]chan Request, len(workers)),
-		replies: make(chan Reply, 4*len(workers)),
+		queues:  make([][]chan Request, len(workers)),
+		replies: make(chan Reply, 4*NumStreams*len(workers)+16),
 	}
 	for i, w := range workers {
-		q := make(chan Request, 64)
-		t.queues[i] = q
-		t.wg.Add(1)
-		go func(w *ModelWorker, q chan Request) {
-			defer t.wg.Done()
-			for req := range q {
-				if req.Kind == ReqShutdown {
-					return
+		lanes := make([]chan Request, NumStreams)
+		for s := range lanes {
+			q := make(chan Request, 256)
+			lanes[s] = q
+			t.wg.Add(1)
+			go func(w *ModelWorker, q chan Request) {
+				defer t.wg.Done()
+				for req := range q {
+					if req.Kind == ReqShutdown {
+						return
+					}
+					t.replies <- w.Handle(req)
 				}
-				t.replies <- w.Handle(req)
-			}
-		}(w, q)
+			}(w, q)
+		}
+		t.queues[i] = lanes
 	}
 	return t
 }
@@ -45,34 +51,54 @@ func (t *ChanTransport) Send(gpu int, req Request) error {
 	if gpu < 0 || gpu >= len(t.queues) {
 		return fmt.Errorf("runtime: no worker for gpu %d", gpu)
 	}
-	t.queues[gpu] <- req
+	s := req.Stream
+	if s < 0 || int(s) >= NumStreams {
+		s = StreamCompute
+	}
+	t.queues[gpu][s] <- req
 	return nil
 }
 
 // Replies implements Transport.
 func (t *ChanTransport) Replies() <-chan Reply { return t.replies }
 
-// Close implements Transport.
+// Close implements Transport. It drains straggler replies (e.g. after a
+// cancelled run) so worker goroutines blocked on the reply channel can
+// exit.
 func (t *ChanTransport) Close() error {
 	t.once.Do(func() {
-		for _, q := range t.queues {
-			q <- Request{Kind: ReqShutdown}
-			close(q)
+		for _, lanes := range t.queues {
+			for _, q := range lanes {
+				q <- Request{Kind: ReqShutdown}
+				close(q)
+			}
 		}
-		t.wg.Wait()
+		done := make(chan struct{})
+		go func() {
+			t.wg.Wait()
+			close(done)
+		}()
+		for {
+			select {
+			case <-t.replies: // discard
+			case <-done:
+				return
+			}
+		}
 	})
 	return nil
 }
 
 // TCPTransport serves model workers over real TCP sockets with gob-encoded
 // messages — the cross-process deployment shape of the paper's runtime
-// engine. The master dials one connection per worker.
+// engine. The master dials one connection per worker; the worker process
+// multiplexes its streams behind the connection (requests still carry their
+// Stream, and the worker's per-stream clocks provide the virtual overlap).
 type TCPTransport struct {
 	conns   []net.Conn
 	encs    []*gob.Encoder
 	encMu   []sync.Mutex
 	replies chan Reply
-	ln      net.Listener
 	wg      sync.WaitGroup
 	once    sync.Once
 }
@@ -86,19 +112,15 @@ func ServeWorkersTCP(workers []*ModelWorker) (addr string, stop func(), err erro
 		return "", nil, err
 	}
 	var wg sync.WaitGroup
-	done := make(chan struct{})
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
-				select {
-				case <-done:
-					return
-				default:
-					return
-				}
+				// Either stop() closed the listener or the socket died;
+				// both end the accept loop.
+				return
 			}
 			wg.Add(1)
 			go func(conn net.Conn) {
@@ -130,7 +152,6 @@ func ServeWorkersTCP(workers []*ModelWorker) (addr string, stop func(), err erro
 		}
 	}()
 	return ln.Addr().String(), func() {
-		close(done)
 		ln.Close()
 		wg.Wait()
 	}, nil
@@ -142,7 +163,7 @@ func NewTCPTransport(addr string, n int) (*TCPTransport, error) {
 		conns:   make([]net.Conn, n),
 		encs:    make([]*gob.Encoder, n),
 		encMu:   make([]sync.Mutex, n),
-		replies: make(chan Reply, 4*n),
+		replies: make(chan Reply, 4*NumStreams*n+16),
 	}
 	for i := 0; i < n; i++ {
 		conn, err := net.Dial("tcp", addr)
@@ -186,7 +207,8 @@ func (t *TCPTransport) Send(gpu int, req Request) error {
 // Replies implements Transport.
 func (t *TCPTransport) Replies() <-chan Reply { return t.replies }
 
-// Close implements Transport.
+// Close implements Transport. Like ChanTransport.Close it drains straggler
+// replies so reader goroutines blocked on the reply channel can exit.
 func (t *TCPTransport) Close() error {
 	t.once.Do(func() {
 		for gpu, conn := range t.conns {
@@ -198,7 +220,18 @@ func (t *TCPTransport) Close() error {
 			t.encMu[gpu].Unlock()
 			conn.Close()
 		}
-		t.wg.Wait()
+		done := make(chan struct{})
+		go func() {
+			t.wg.Wait()
+			close(done)
+		}()
+		for {
+			select {
+			case <-t.replies: // discard
+			case <-done:
+				return
+			}
+		}
 	})
 	return nil
 }

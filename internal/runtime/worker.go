@@ -1,6 +1,9 @@
 package runtime
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // dispatchOverheadV is the virtual per-request master->worker dispatch
 // latency (socket round trip plus queue polling). It is one of the runtime
@@ -9,8 +12,13 @@ import "fmt"
 const dispatchOverheadV = 200e-6
 
 // ModelWorker simulates one GPU's worker process: it executes requests in
-// FIFO order, advancing a virtual clock and enforcing the device memory
-// limit.
+// per-stream FIFO order, advancing one virtual clock per stream and
+// enforcing the device memory limit. The two streams model a device's
+// compute and copy engines: requests on different streams overlap in
+// virtual time, requests on the same stream serialize.
+//
+// Handle is safe for concurrent use: the in-process transport runs one
+// goroutine per stream against the same worker.
 type ModelWorker struct {
 	GPU int
 	// MemoryBytes is the device capacity.
@@ -18,7 +26,8 @@ type ModelWorker struct {
 	// StaticBytes is the resting memory of models homed on this GPU.
 	StaticBytes int64
 
-	clockV float64
+	mu     sync.Mutex
+	clockV [NumStreams]float64
 	// peakBytes tracks the high-water mark for reporting.
 	peakBytes int64
 }
@@ -28,11 +37,33 @@ func NewModelWorker(gpu int, memoryBytes int64) *ModelWorker {
 	return &ModelWorker{GPU: gpu, MemoryBytes: memoryBytes}
 }
 
-// Clock returns the worker's current virtual time.
-func (w *ModelWorker) Clock() float64 { return w.clockV }
+// Clock returns the worker's current virtual time: the furthest-advanced
+// stream clock.
+func (w *ModelWorker) Clock() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c := w.clockV[0]
+	for _, v := range w.clockV[1:] {
+		if v > c {
+			c = v
+		}
+	}
+	return c
+}
+
+// StreamClock returns one stream's virtual time.
+func (w *ModelWorker) StreamClock(s Stream) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.clockV[s]
+}
 
 // Peak returns the observed memory high-water mark.
-func (w *ModelWorker) Peak() int64 { return w.peakBytes }
+func (w *ModelWorker) Peak() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.peakBytes
+}
 
 // Handle executes one request against the simulated device and returns the
 // reply the worker would send. Shutdown requests return a zero Reply.
@@ -40,9 +71,15 @@ func (w *ModelWorker) Handle(req Request) Reply {
 	if req.Kind == ReqShutdown {
 		return Reply{ID: req.ID, GPU: w.GPU}
 	}
+	s := req.Stream
+	if s < 0 || int(s) >= NumStreams {
+		s = StreamCompute
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	start := req.ReadyV
-	if w.clockV > start {
-		start = w.clockV
+	if w.clockV[s] > start {
+		start = w.clockV[s]
 	}
 	start += dispatchOverheadV
 
@@ -51,14 +88,14 @@ func (w *ModelWorker) Handle(req Request) Reply {
 		w.peakBytes = need
 	}
 	if need > w.MemoryBytes {
-		w.clockV = start
+		w.clockV[s] = start
 		return Reply{
-			ID: req.ID, GPU: w.GPU, EndV: start, OOM: true,
+			ID: req.ID, GPU: w.GPU, StartV: start, EndV: start, OOM: true,
 			Error: fmt.Sprintf("gpu %d: CUDA out of memory: %d + %d > %d",
 				w.GPU, w.StaticBytes, req.AllocBytes, w.MemoryBytes),
 		}
 	}
 	end := start + req.DurV
-	w.clockV = end
-	return Reply{ID: req.ID, GPU: w.GPU, EndV: end}
+	w.clockV[s] = end
+	return Reply{ID: req.ID, GPU: w.GPU, StartV: start, EndV: end}
 }

@@ -6,41 +6,35 @@ import (
 	"os"
 	"sort"
 
-	"realhf/internal/core"
 	"realhf/internal/runtime"
 )
 
 // chromeEvent is one entry of the Chrome/Perfetto trace-event format
-// ("X" complete events with microsecond timestamps).
+// ("X" complete events with microsecond timestamps, "M" metadata).
 type chromeEvent struct {
-	Name  string `json:"name"`
-	Cat   string `json:"cat"`
-	Phase string `json:"ph"`
-	TS    int64  `json:"ts"`  // start, microseconds
-	Dur   int64  `json:"dur"` // duration, microseconds
-	PID   int    `json:"pid"`
-	TID   int    `json:"tid"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`            // start, microseconds
+	Dur   int64          `json:"dur,omitempty"` // duration, microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
 // ExportChromeTrace writes a runtime report's timeline as a Chrome
 // trace-event JSON file (load it in chrome://tracing or Perfetto). Each
-// executed node becomes one complete event; the "thread" lane is the first
-// GPU of the node's mesh, so concurrent calls on disjoint meshes render as
-// parallel tracks.
-func ExportChromeTrace(rep *runtime.Report, plan *core.Plan, path string) error {
+// executed node becomes one complete event. Every device contributes two
+// trace lanes — a compute lane and a communication lane — so overlapped
+// parameter reallocation renders as a parallel track under its device
+// rather than interleaving with the calls it hides behind. Lanes are named
+// with thread-metadata events ("gpu N compute" / "gpu N comm").
+func ExportChromeTrace(rep *runtime.Report, path string) error {
 	var events []chromeEvent
+	lanes := map[int]runtime.Stream{}
 	for _, span := range rep.Timeline {
-		lane := 0
-		if span.Kind == core.KindCall {
-			// Place call spans on their mesh's first GPU lane.
-			name := span.Label
-			for callName, a := range plan.Assign {
-				if len(name) >= len(callName) && name[:len(callName)] == callName {
-					lane = a.Mesh.First
-					break
-				}
-			}
-		}
+		tid := span.Lane*runtime.NumStreams + int(span.Stream)
+		lanes[tid] = span.Stream
 		events = append(events, chromeEvent{
 			Name:  span.Label,
 			Cat:   span.Kind.String(),
@@ -48,10 +42,27 @@ func ExportChromeTrace(rep *runtime.Report, plan *core.Plan, path string) error 
 			TS:    int64(span.StartV * 1e6),
 			Dur:   int64((span.EndV - span.StartV) * 1e6),
 			PID:   1,
-			TID:   lane,
+			TID:   tid,
 		})
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].TID < events[j].TID
+	})
+	meta := make([]chromeEvent, 0, len(lanes))
+	for tid, stream := range lanes {
+		meta = append(meta, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   tid,
+			Args:  map[string]any{"name": fmt.Sprintf("gpu %d %s", tid/runtime.NumStreams, stream)},
+		})
+	}
+	sort.Slice(meta, func(i, j int) bool { return meta[i].TID < meta[j].TID })
+	events = append(meta, events...)
 	data, err := json.MarshalIndent(map[string]any{"traceEvents": events}, "", " ")
 	if err != nil {
 		return fmt.Errorf("trace: marshal chrome trace: %w", err)

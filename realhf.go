@@ -356,6 +356,25 @@ func Heuristic(cfg ExperimentConfig) (*Experiment, error) {
 	return &Experiment{Config: cfg, Cluster: hw, Plan: plan, Estimate: res, est: est}, nil
 }
 
+// RunOptions configures plan execution — the public mirror of the runtime
+// engine's options.
+type RunOptions struct {
+	// UseCUDAGraph captures decoding kernels into CUDA graphs (Table 6's
+	// ±CUDAGraph ablation).
+	UseCUDAGraph bool
+	// OverlapComm executes parameter reallocation, data transfer and
+	// offload traffic on per-worker communication streams, overlapped with
+	// computation (§6). Disabling it serializes every node per device —
+	// the baseline side of the ±overlap ablation.
+	OverlapComm bool
+}
+
+// DefaultRunOptions is the paper's full runtime configuration: CUDA graphs
+// and communication overlap both enabled.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{UseCUDAGraph: true, OverlapComm: true}
+}
+
 // RunReport summarizes an executed experiment.
 type RunReport struct {
 	// IterationTime is the virtual wall time of one RLHF iteration.
@@ -364,8 +383,11 @@ type RunReport struct {
 	ThroughputPFLOPs float64
 	// CallTimes breaks the iteration into per-call durations.
 	CallTimes map[string]float64
-	// CommTime is the total parameter-reallocation/data-transfer time.
+	// CommTime is the total parameter-reallocation/data-transfer time
+	// (spent, whether or not it was hidden behind computation).
 	CommTime float64
+	// OverlapComm echoes the option the run executed under.
+	OverlapComm bool
 	// OOM reports whether the plan ran out of device memory.
 	OOM bool
 	// Errors carries worker diagnostics for failed runs.
@@ -373,9 +395,18 @@ type RunReport struct {
 }
 
 // Run executes the experiment's plan on the simulated cluster through the
-// runtime engine (master worker + per-GPU model workers).
+// runtime engine (master worker + per-GPU model workers) under
+// DefaultRunOptions.
 func (e *Experiment) Run() (*RunReport, error) {
-	rep, err := runtime.RunDefault(e.Plan)
+	return e.RunWith(DefaultRunOptions())
+}
+
+// RunWith executes the experiment's plan under explicit run options.
+func (e *Experiment) RunWith(opts RunOptions) (*RunReport, error) {
+	rep, err := runtime.Run(e.Plan, runtime.Options{
+		UseCUDAGraph: opts.UseCUDAGraph,
+		OverlapComm:  opts.OverlapComm,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -383,6 +414,7 @@ func (e *Experiment) Run() (*RunReport, error) {
 		IterationTime: rep.IterTime(),
 		CallTimes:     rep.CallTimes,
 		CommTime:      rep.CommTimeV,
+		OverlapComm:   rep.OverlapComm,
 		OOM:           rep.OOM,
 		Errors:        rep.Errors,
 	}

@@ -254,3 +254,37 @@ func TestAutoDeterministicAcrossSolverRuns(t *testing.T) {
 		t.Error("search stats must report cost-cache counters")
 	}
 }
+
+func TestRunWithOverlapKnob(t *testing.T) {
+	exp, err := Auto(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := exp.RunWith(RunOptions{UseCUDAGraph: true, OverlapComm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := exp.RunWith(RunOptions{UseCUDAGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !over.OverlapComm || serial.OverlapComm {
+		t.Error("RunReport must echo the OverlapComm option")
+	}
+	if over.IterationTime > serial.IterationTime+1e-9 {
+		t.Errorf("overlapped run (%.2fs) must not lose to serialized (%.2fs)",
+			over.IterationTime, serial.IterationTime)
+	}
+	// Run() uses DefaultRunOptions (overlap on).
+	def, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.OverlapComm {
+		t.Error("Run() must execute under DefaultRunOptions (overlap on)")
+	}
+	if def.IterationTime != over.IterationTime {
+		t.Errorf("Run() (%.6f) must match RunWith(DefaultRunOptions()) (%.6f)",
+			def.IterationTime, over.IterationTime)
+	}
+}
