@@ -7,6 +7,7 @@ package realhf
 // full paper scale.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -313,6 +314,40 @@ func BenchmarkParallelMCMCWallClock(b *testing.B) {
 		b.ReportMetric(single.Cost/multi.Cost, "parallel-speedup-x")
 		b.ReportMetric(multi.CacheHitRate()*100, "cache-hit-%")
 	}
+}
+
+// BenchmarkPlannerCachedPlan measures the steady-state cost of a Planner
+// session answering a repeated request from the plan cache — no MCMC, no
+// estimator work, one keyed lookup plus a private plan clone. The
+// deterministic custom metrics pin the cache-hit semantics in CI: every
+// timed iteration must be a hit and must return exactly the originally
+// solved cost.
+func BenchmarkPlannerCachedPlan(b *testing.B) {
+	planner := NewPlanner(ClusterConfig{})
+	cfg := ExperimentConfig{
+		Nodes: 1, BatchSize: 64, PromptLen: 256, GenLen: 256,
+		RPCs: PPORPCs("llama7b", "llama7b-critic"), SearchSteps: 300, Seed: 1,
+	}
+	warm, err := planner.Plan(context.Background(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	hits := 0
+	cost := warm.Estimate.Cost
+	for i := 0; i < b.N; i++ {
+		exp, err := planner.Plan(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if exp.Cached {
+			hits++
+		}
+		cost = exp.Estimate.Cost
+	}
+	b.ReportMetric(100*float64(hits)/float64(b.N), "plan-cache-hit-%")
+	b.ReportMetric(cost, "cached-cost-s")
+	b.ReportMetric(cost/warm.Estimate.Cost, "cost-ratio-vs-solve")
 }
 
 // BenchmarkEstimatorEvaluate measures one cost-estimation call — the paper

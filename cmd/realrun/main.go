@@ -2,22 +2,31 @@
 // through the runtime engine (master worker + per-GPU model workers) and
 // prints a Table 6-style wall-time breakdown.
 //
+// Planning goes through the public realhf.Planner session (searched plans,
+// the symmetric heuristic, and plans saved by realsearch -save); only the
+// split-placement baseline systems of Fig. 7 still reach into the internal
+// baselines package, since they are not part of the public API.
+//
 // Usage:
 //
 //	realrun -actor 70b -critic 7b -nodes 16 -system real
 //	realrun -actor 7b -critic 7b -nodes 2 -system openrlhf -cudagraph=false
+//	realrun -actor 7b -critic 7b -plan plan.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"sort"
 
+	"realhf"
 	"realhf/internal/baselines"
 	"realhf/internal/core"
 	"realhf/internal/estimator"
 	"realhf/internal/experiments"
+	"realhf/internal/hardware"
 	"realhf/internal/model"
 	"realhf/internal/runtime"
 	"realhf/internal/trace"
@@ -42,50 +51,66 @@ func main() {
 	chromeTrace := flag.String("chrometrace", "", "write the execution timeline as a Chrome trace JSON")
 	flag.Parse()
 
-	actorCfg, err := model.ByName(*actor)
+	cfg, err := realhf.PaperExperiment(*algo, "llama"+*actor, "llama"+*critic+"-critic", *nodes, *batch)
 	if err != nil {
 		log.Fatal(err)
 	}
-	criticCfg, err := model.ByName(*critic)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := experiments.PaperSetting(*nodes, actorCfg, criticCfg)
-	s.Algo = *algo
-	if *batch > 0 {
-		s.Batch = *batch
-	}
-	pr, err := experiments.NewProblem(s)
-	if err != nil {
-		log.Fatal(err)
-	}
+	cfg.SearchSteps, cfg.Seed = *steps, *seed
 
+	planner := realhf.NewPlanner(realhf.ClusterConfig{})
 	var plan *core.Plan
+	var cluster hardware.Cluster
 	switch {
 	case *planFile != "":
-		plan, err = core.LoadPlan(*planFile, pr.Graph)
+		exp, err := planner.LoadExperiment(*planFile, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		plan, cluster = exp.Plan, exp.Cluster
 	case *system == "real":
-		res, err := pr.SearchPlan(*steps, *seed)
+		exp, err := planner.Plan(context.Background(), cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		plan = res.Plan
+		plan, cluster = exp.Plan, exp.Cluster
+	case *system == "real-heuristic":
+		exp, err := planner.Heuristic(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, cluster = exp.Plan, exp.Cluster
 	default:
+		// The split-placement baseline systems live below the public API.
+		actorCfg, err := model.ByName(*actor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		criticCfg, err := model.ByName(*critic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := experiments.PaperSetting(*nodes, actorCfg, criticCfg)
+		s.Algo = *algo
+		if *batch > 0 {
+			s.Batch = *batch
+		}
+		pr, err := experiments.NewProblem(s)
+		if err != nil {
+			log.Fatal(err)
+		}
 		plan, _, err = baselines.Evaluate(baselines.System(*system), pr.Est, pr.Cluster, pr.Graph, pr.Models)
 		if err != nil {
 			log.Fatal(err)
 		}
+		cluster = pr.Cluster
 	}
 
 	opts := runtime.Options{UseCUDAGraph: *cudaGraph, OverlapComm: *overlap}
 	if *tcp {
 		static := estimator.StaticPerGPU(plan)
-		workers := make([]*runtime.ModelWorker, pr.Cluster.NumGPUs())
+		workers := make([]*runtime.ModelWorker, cluster.NumGPUs())
 		for i := range workers {
-			workers[i] = runtime.NewModelWorker(i, pr.Cluster.GPU.MemoryBytes)
+			workers[i] = runtime.NewModelWorker(i, cluster.GPU.MemoryBytes)
 			workers[i].StaticBytes = static[i]
 		}
 		addr, stop, err := runtime.ServeWorkersTCP(workers)
@@ -114,7 +139,7 @@ func main() {
 		fmt.Printf("timeline written to %s (open in chrome://tracing)\n", *chromeTrace)
 	}
 
-	fmt.Printf("Plan (%s) for %s+%s on %d GPUs:\n\n", *system, *actor, *critic, pr.Cluster.NumGPUs())
+	fmt.Printf("Plan (%s) for %s+%s on %d GPUs:\n\n", *system, *actor, *critic, cluster.NumGPUs())
 	fmt.Print(plan.Table(rep.CallTimes))
 	fmt.Println()
 

@@ -3,23 +3,26 @@
 // estimator's prediction and the solver's efficiency counters (cache
 // hit-rate, per-chain accepted/proposed steps).
 //
+// It is a thin shell over the public realhf.Planner session — the same code
+// path as library callers, with no command-only planning logic.
+//
 // Usage:
 //
 //	realsearch -actor 70b -critic 7b -nodes 16 -batch 4096 -steps 4000
 //	realsearch -actor 7b -critic 7b -solver parallel-mcmc -chains 8
+//	realsearch -actor 7b -critic 7b -algo remax -progress -save plan.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
-	"realhf/internal/baselines"
-	"realhf/internal/core"
-	"realhf/internal/experiments"
-	"realhf/internal/model"
+	"realhf"
 	"realhf/internal/search"
 )
 
@@ -32,84 +35,87 @@ func main() {
 	prompt := flag.Int("prompt", 1024, "prompt length in tokens")
 	gen := flag.Int("gen", 1024, "generated tokens per sequence")
 	algo := flag.String("algo", "ppo", "RLHF algorithm: ppo, dpo, grpo, remax")
-	solver := flag.String("solver", "mcmc",
-		"planning engine: "+strings.Join(search.Names(), ", "))
-	chains := flag.Int("chains", 0,
-		"parallel MCMC chains (implies -solver parallel-mcmc when > 1; 0 = solver default)")
+	solver := flag.String("solver", "",
+		"planning engine: "+strings.Join(search.Names(), ", ")+
+			" (default mcmc; parallel-mcmc when -chains > 1)")
+	chains := flag.Int("chains", 0, "parallel MCMC chains (0 = solver default)")
 	steps := flag.Int("steps", 4000, "MCMC search steps (per chain)")
 	seed := flag.Int64("seed", 1, "search seed")
 	heuristic := flag.Bool("heuristic", false, "print the heuristic plan instead of searching")
+	progress := flag.Bool("progress", false, "stream best-cost improvements while searching")
 	save := flag.String("save", "", "write the resulting plan to this JSON file")
 	flag.Parse()
 
-	actorCfg, err := model.ByName(*actor)
+	cfg, err := realhf.PaperExperiment(*algo, "llama"+*actor, "llama"+*critic+"-critic", *nodes, *batch)
 	if err != nil {
 		log.Fatal(err)
 	}
-	criticCfg, err := model.ByName(*critic)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := experiments.PaperSetting(*nodes, actorCfg, criticCfg)
-	s.PromptLen, s.GenLen, s.Algo = *prompt, *gen, *algo
-	if *batch > 0 {
-		s.Batch = *batch
-	}
-	pr, err := experiments.NewProblem(s)
-	if err != nil {
-		log.Fatal(err)
+	cfg.PromptLen, cfg.GenLen = *prompt, *gen
+	cfg.SearchSteps, cfg.Seed = *steps, *seed
+	cfg.Solver, cfg.SearchParallelism = *solver, *chains
+	if *chains > 1 && cfg.Solver == "mcmc" {
+		// An explicit -solver mcmc with -chains N has always meant the
+		// multi-chain engine (chain 0 reproduces the sequential walker).
+		cfg.Solver = "parallel-mcmc"
 	}
 
 	if *heuristic {
-		plan, err := baselines.BuildHeuristic(pr.Cluster, pr.Graph, pr.Models)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := pr.Est.Evaluate(plan)
+		exp, err := realhf.Heuristic(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("Heuristic plan for %s actor + %s critic on %d GPUs (%s):\n\n",
-			*actor, *critic, pr.Cluster.NumGPUs(), *algo)
-		fmt.Print(plan.Table(res.CallTimes))
-		fmt.Printf("\nEstimated iteration time: %.1fs   MaxMem: %.1f GB   OOM: %v\n",
-			res.TimeCost, float64(res.MaxMem)/(1<<30), res.OOM)
+			*actor, *critic, exp.Cluster.NumGPUs(), *algo)
+		fmt.Print(exp.PlanTable())
+		printEstimate(exp)
 		return
 	}
 
-	name := *solver
-	if *chains > 1 && name == "mcmc" {
-		name = "parallel-mcmc"
+	// Ctrl-C cancels the search mid-flight through the Planner's context
+	// plumbing instead of killing the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	planner := realhf.NewPlanner(realhf.ClusterConfig{})
+	var opts []realhf.AutoOption
+	if *progress {
+		opts = append(opts, realhf.WithProgress(func(pt search.ProgressPoint) {
+			fmt.Printf("  step %6d  best %.2fs  (t=%s)\n",
+				pt.Step, pt.BestCost, pt.Elapsed.Round(1e6))
+		}))
 	}
-	res, err := pr.SolveWith(name, search.Options{
-		MaxSteps: *steps, Seed: *seed, Chains: *chains,
-	})
+	exp, err := planner.Plan(ctx, cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *save != "" {
-		if err := core.SavePlan(res.Plan, *save); err != nil {
+		if err := exp.SavePlan(*save); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("plan written to %s\n", *save)
+		fmt.Printf("plan written to %s (re-run it with realrun -plan %s)\n", *save, *save)
 	}
 	fmt.Printf("Searched plan for %s actor + %s critic on %d GPUs (%s, solver=%s, %d steps):\n\n",
-		*actor, *critic, pr.Cluster.NumGPUs(), *algo, name, res.Steps)
-	fmt.Print(res.Plan.Table(res.Estimate.CallTimes))
-	fmt.Printf("\nEstimated iteration time: %.1fs   MaxMem: %.1f GB   OOM: %v\n",
-		res.Estimate.TimeCost, float64(res.Estimate.MaxMem)/(1<<30), res.Estimate.OOM)
+		*actor, *critic, exp.Cluster.NumGPUs(), *algo, exp.Config.Solver, exp.SearchStats.Steps)
+	fmt.Print(exp.PlanTable())
+	printEstimate(exp)
+	st := exp.SearchStats
 	fmt.Printf("Search space: ~1e%.0f plans, accepted %d/%d moves\n",
-		res.SpaceLog10, res.Accepted, res.Steps)
+		st.SpaceLog10, st.Accepted, st.Steps)
 	fmt.Printf("Cost cache: %d hits / %d misses (%.1f%% hit rate)\n",
-		res.CacheHits, res.CacheMisses, 100*res.CacheHitRate())
-	if len(res.Chains) > 1 {
+		st.CacheHits, st.CacheMisses, 100*st.CacheHitRate())
+	if len(st.Chains) > 1 {
 		fmt.Printf("\n%-6s %-22s %10s %10s %12s\n", "Chain", "Seed", "Proposed", "Accepted", "BestCost")
-		for _, c := range res.Chains {
+		for _, c := range st.Chains {
 			fmt.Printf("%-6d %-22d %10d %10d %11.1fs\n",
 				c.Chain, c.Seed, c.Proposed, c.Accepted, c.BestCost)
 		}
 	}
-	if res.Estimate.OOM {
+	if exp.Estimate.OOM {
 		os.Exit(1)
 	}
+}
+
+func printEstimate(exp *realhf.Experiment) {
+	fmt.Printf("\nEstimated iteration time: %.1fs   MaxMem: %.1f GB   OOM: %v\n",
+		exp.Estimate.TimeCost, float64(exp.Estimate.MaxMem)/(1<<30), exp.Estimate.OOM)
 }

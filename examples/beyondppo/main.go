@@ -1,60 +1,53 @@
 // Beyond PPO: ReaL accelerates any RLHF algorithm whose workflow is a DAG of
 // generation/inference/training calls (paper §4, Fig. 16). This example
-// declares ReMax — two independent generations (sampled and greedy) feeding
-// two reward inferences and one training call — through the public API, and
-// shows that the planner runs the two generations concurrently on disjoint
-// device meshes.
+// plans ReMax — two independent generations (sampled and greedy) feeding
+// two reward inferences and one training call — through the public
+// realhf.ReMaxRPCs preset and a Planner session, streams the search's
+// convergence with WithProgress, and shows that the planner runs the two
+// generations concurrently on disjoint device meshes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"realhf"
+	"realhf/internal/search"
 )
 
 func main() {
 	log.SetFlags(0)
-
-	remax := []realhf.ModelFunctionCallDef{
-		{Name: "SampleGen", ModelName: "actor", ModelType: "llama7b",
-			InterfaceType: realhf.Generate,
-			InputData:     []string{"prompts"}, OutputData: []string{"sample_seq"}},
-		{Name: "GreedyGen", ModelName: "actor", ModelType: "llama7b",
-			InterfaceType: realhf.Generate,
-			InputData:     []string{"prompts"}, OutputData: []string{"greedy_seq"}},
-		{Name: "SampleRew", ModelName: "reward", ModelType: "llama7b-critic",
-			InterfaceType: realhf.Inference,
-			InputData:     []string{"sample_seq"}, OutputData: []string{"sample_r"}},
-		{Name: "GreedyRew", ModelName: "reward", ModelType: "llama7b-critic",
-			InterfaceType: realhf.Inference,
-			InputData:     []string{"greedy_seq"}, OutputData: []string{"greedy_r"}},
-		{Name: "ActorTrain", ModelName: "actor", ModelType: "llama7b",
-			InterfaceType: realhf.TrainStep,
-			InputData:     []string{"sample_seq", "sample_r", "greedy_r"}},
-	}
 
 	cfg := realhf.ExperimentConfig{
 		Nodes:       2,
 		BatchSize:   256,
 		PromptLen:   1024,
 		GenLen:      1024,
-		RPCs:        remax,
+		RPCs:        realhf.ReMaxRPCs("llama7b", "llama7b-critic"),
 		SearchSteps: 3000,
 		Seed:        42,
 	}
-	exp, err := realhf.Auto(cfg)
+	planner := realhf.NewPlanner(realhf.ClusterConfig{})
+
+	// WithProgress streams best-cost improvements while MCMC runs.
+	improvements := 0
+	exp, err := planner.Plan(context.Background(), cfg,
+		realhf.WithProgress(func(pt search.ProgressPoint) {
+			improvements++
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("ReMax execution plan (note the two generation calls):")
+	fmt.Printf("ReMax execution plan (%d progress points; note the two generation calls):\n",
+		improvements)
 	fmt.Println(exp.PlanTable())
 
 	rep, err := exp.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-	heur, err := realhf.Heuristic(cfg)
+	heur, err := planner.Heuristic(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

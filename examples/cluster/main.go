@@ -1,41 +1,43 @@
 // Distributed runtime: the paper's §6 deployment shape — a master worker
-// driving per-GPU model workers over sockets. This example serves 16 model
-// workers over real TCP connections with gob-encoded requests, plans a PPO
-// iteration, executes it through the socket transport, and verifies the
-// result matches the in-process transport exactly.
+// driving per-GPU model workers over sockets. This example plans the
+// symmetric heuristic through the public Planner session, reshards
+// generation so the run includes a parameter reallocation, serves 16 model
+// workers over real TCP connections with gob-encoded requests, executes the
+// plan through the socket transport, and verifies the result matches the
+// in-process transport exactly. (The TCP transport and worker types are
+// deployment machinery below the public planning API.)
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"realhf/internal/baselines"
+	"realhf"
 	"realhf/internal/core"
 	"realhf/internal/estimator"
-	"realhf/internal/experiments"
-	"realhf/internal/model"
 	"realhf/internal/runtime"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
-	pr, err := experiments.NewProblem(s)
+	planner := realhf.NewPlanner(realhf.ClusterConfig{Nodes: 2})
+	cfg := realhf.ExperimentConfig{
+		BatchSize: 512, PromptLen: 1024, GenLen: 1024, MiniBatches: 8,
+		RPCs: realhf.PPORPCs("llama7b", "llama7b-critic"),
+	}
+	exp, err := planner.Heuristic(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := baselines.BuildHeuristic(pr.Cluster, pr.Graph, pr.Models)
-	if err != nil {
-		log.Fatal(err)
-	}
+	plan := exp.Plan
 	tweakGenerationStrategy(plan)
 
 	// Start one model worker per GPU behind a TCP listener.
 	static := estimator.StaticPerGPU(plan)
-	workers := make([]*runtime.ModelWorker, pr.Cluster.NumGPUs())
+	workers := make([]*runtime.ModelWorker, exp.Cluster.NumGPUs())
 	for i := range workers {
-		workers[i] = runtime.NewModelWorker(i, pr.Cluster.GPU.MemoryBytes)
+		workers[i] = runtime.NewModelWorker(i, exp.Cluster.GPU.MemoryBytes)
 		workers[i].StaticBytes = static[i]
 	}
 	addr, stop, err := runtime.ServeWorkersTCP(workers)
@@ -77,10 +79,11 @@ func main() {
 // tweakGenerationStrategy reshards generation to TP=2 so the run includes a
 // parameter reallocation over the sockets.
 func tweakGenerationStrategy(plan *core.Plan) {
-	a := plan.Assign["ActorGen"]
+	const gen = "actor/GENERATE"
+	a := plan.Assign[gen]
 	a.Strategy.TP, a.Strategy.DP, a.Strategy.PP = 2, a.Mesh.NumGPUs()/2, 1
 	a.Strategy.MicroBatches = 1
-	plan.Assign["ActorGen"] = a
+	plan.Assign[gen] = a
 	if err := plan.Validate(); err != nil {
 		log.Fatal(err)
 	}

@@ -1,31 +1,33 @@
 // Long-context scenario: the paper's Fig. 8 observation that ReaL's
 // advantage over the symmetric heuristic grows with the context length
 // (+54% average at 2048 tokens, +81% at 8192). This example runs one size
-// combination at both context lengths with a fixed token budget and prints
-// the gains.
+// combination at both context lengths with a fixed token budget through a
+// single Planner session — both problems share the session's per-model
+// costers — and prints the gains.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"realhf"
 )
 
-func run(ctx int) (realSpeed, heurSpeed float64) {
+func run(planner *realhf.Planner, ctxLen int) (realSpeed, heurSpeed float64) {
 	// Fixed token budget: the batch shrinks as the context grows.
-	batch := 512 * 2048 / ctx
+	batch := 512 * 2048 / ctxLen
 	cfg := realhf.ExperimentConfig{
 		Nodes:       2,
 		BatchSize:   batch,
 		PromptLen:   1024,
-		GenLen:      ctx - 1024,
+		GenLen:      ctxLen - 1024,
 		MiniBatches: 8,
 		RPCs:        realhf.PPORPCs("llama13b", "llama7b-critic"),
 		SearchSteps: 3000,
-		Seed:        int64(ctx),
+		Seed:        int64(ctxLen),
 	}
-	exp, err := realhf.Auto(cfg)
+	exp, err := planner.Plan(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +35,7 @@ func run(ctx int) (realSpeed, heurSpeed float64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	heur, err := realhf.Heuristic(cfg)
+	heur, err := planner.Heuristic(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,14 +48,15 @@ func run(ctx int) (realSpeed, heurSpeed float64) {
 
 func main() {
 	log.SetFlags(0)
+	planner := realhf.NewPlanner(realhf.ClusterConfig{Nodes: 2})
 	fmt.Println("13B actor + 7B critic on 16 GPUs, fixed token budget:")
 	fmt.Printf("%8s %12s %12s %8s\n", "Context", "ReaL PF/s", "Heur PF/s", "Gain")
 	var gains []float64
-	for _, ctx := range []int{2048, 8192} {
-		r, h := run(ctx)
+	for _, ctxLen := range []int{2048, 8192} {
+		r, h := run(planner, ctxLen)
 		gain := (r - h) / h
 		gains = append(gains, gain)
-		fmt.Printf("%8d %12.2f %12.2f %+7.0f%%\n", ctx, r, h, 100*gain)
+		fmt.Printf("%8d %12.2f %12.2f %+7.0f%%\n", ctxLen, r, h, 100*gain)
 	}
 	if gains[1] > gains[0] {
 		fmt.Println("\nAs in the paper, the searched plan's advantage grows with context length.")

@@ -67,6 +67,9 @@ func (exhaustiveSolver) Solve(ctx context.Context, prob Problem, opt Options) (S
 			steps++
 			if r.Cost < best {
 				best, bestPlan, bestRes = r.Cost, trial, r
+				if opt.Progress != nil {
+					opt.Progress(ProgressPoint{Elapsed: time.Since(start), Step: steps, BestCost: best})
+				}
 			}
 		}
 		// Advance the mixed-radix counter.

@@ -55,6 +55,9 @@ func (greedySolver) Name() string { return "greedy" }
 
 func (greedySolver) Solve(ctx context.Context, prob Problem, opt Options) (Solution, Stats, error) {
 	opt = opt.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return Solution{}, Stats{}, fmt.Errorf("search: greedy solve cancelled: %w", err)
+	}
 	sets, spaceLog10, err := candidateSets(prob.Plan, opt.Prune)
 	if err != nil {
 		return Solution{}, Stats{}, err
@@ -77,6 +80,9 @@ func (greedySolver) Solve(ctx context.Context, prob Problem, opt Options) (Solut
 		CacheHits:   cache.Hits() - hits0,
 		CacheMisses: cache.Misses() - misses0,
 		Trace:       []ProgressPoint{{Step: 0, BestCost: res.Cost}},
+	}
+	if opt.Progress != nil {
+		opt.Progress(st.Trace[0])
 	}
 	return Solution{Plan: plan, Cost: res.Cost, Estimate: res}, st, nil
 }

@@ -2,6 +2,7 @@ package search
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -39,11 +40,21 @@ type chainState struct {
 	beta         float64
 	adaptiveBeta bool
 
-	step     int // proposals attempted (including failed evaluations)
-	evalStep int // last step whose proposal evaluated successfully
-	accepted int
-	trace    []ProgressPoint
-	done     bool
+	step      int // proposals attempted (including failed evaluations)
+	evalStep  int // last step whose proposal evaluated successfully
+	accepted  int
+	trace     []ProgressPoint
+	progress  func(ProgressPoint)
+	done      bool
+	cancelled bool
+}
+
+// record appends a trace point and streams it to the progress callback.
+func (c *chainState) record(pt ProgressPoint) {
+	c.trace = append(c.trace, pt)
+	if c.progress != nil {
+		c.progress(pt)
+	}
 }
 
 // run advances the chain until its per-chain budget (opt.MaxSteps or
@@ -67,7 +78,7 @@ func (c *chainState) run(ctx context.Context, ev func(*core.Plan) (*estimator.Re
 			return
 		}
 		if ctx.Err() != nil {
-			c.done = true
+			c.done, c.cancelled = true, true
 			return
 		}
 		c.step = step
@@ -94,13 +105,13 @@ func (c *chainState) run(ctx context.Context, ev func(*core.Plan) (*estimator.Re
 					// so small that the chain random-walks forever.
 					c.beta = 10 / math.Max(c.bestRes.Cost, 1e-9)
 				}
-				c.trace = append(c.trace, ProgressPoint{
+				c.record(ProgressPoint{
 					Elapsed: time.Since(start), Step: step, BestCost: c.bestRes.Cost,
 				})
 			}
 		}
 		if step%opt.ProgressEvery == 0 {
-			c.trace = append(c.trace, ProgressPoint{
+			c.record(ProgressPoint{
 				Elapsed: time.Since(start), Step: step, BestCost: c.bestRes.Cost,
 			})
 		}
@@ -176,9 +187,15 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 	start := time.Now()
 	e, p := prob.Est, prob.Plan
 
+	if err := ctx.Err(); err != nil {
+		return Solution{}, Stats{}, fmt.Errorf("search: mcmc solve cancelled before candidate enumeration: %w", err)
+	}
 	sp, err := buildSpace(e, p, opt)
 	if err != nil {
 		return Solution{}, Stats{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Solution{}, Stats{}, fmt.Errorf("search: mcmc solve cancelled before the first proposal: %w", err)
 	}
 	cache := opt.Cache
 	if cache == nil {
@@ -190,6 +207,20 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 	cur, curRes, err := startState(ev, e, p, sp, opt)
 	if err != nil {
 		return Solution{}, Stats{}, err
+	}
+
+	// Serialize the caller's progress callback across chains: each chain
+	// streams points as it records them, so WithProgress observers see the
+	// search converge live without taking part in plan selection.
+	progress := opt.Progress
+	if progress != nil && chains > 1 {
+		var pmu sync.Mutex
+		cb := opt.Progress
+		progress = func(pt ProgressPoint) {
+			pmu.Lock()
+			defer pmu.Unlock()
+			cb(pt)
+		}
 	}
 
 	cs := make([]*chainState, chains)
@@ -204,15 +235,30 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 			cur: cur.Clone(), curCost: curRes.Cost,
 			best: cur.Clone(), bestRes: curRes,
 			beta: beta, adaptiveBeta: opt.Beta == 0,
+			progress: progress,
 		}
 	}
 	initial := ProgressPoint{Elapsed: time.Since(start), Step: 0, BestCost: curRes.Cost}
-	cs[0].trace = append(cs[0].trace, initial)
+	cs[0].record(initial)
 
 	if chains == 1 {
 		cs[0].run(ctx, ev, sp, opt, start, 0)
 	} else {
 		runExchanging(ctx, cs, ev, sp, opt, start)
+	}
+
+	// Cancellation is an error, not a truncated Solution: a caller that set
+	// a deadline must not mistake a half-walked chain for a converged plan.
+	// (Chains poll ctx every proposal, so this returns promptly.)
+	for _, c := range cs {
+		if c.cancelled {
+			var steps int
+			for _, cc := range cs {
+				steps += cc.step
+			}
+			return Solution{}, Stats{}, fmt.Errorf("search: mcmc solve cancelled after %d proposals: %w",
+				steps, context.Cause(ctx))
+		}
 	}
 
 	// Deterministic reduction: best cost, ties broken by chain index.

@@ -127,6 +127,13 @@ type Options struct {
 	MaxCandidatesPerCall int
 	// ProgressEvery records a trace point every N steps (default 64).
 	ProgressEvery int
+	// Progress, when non-nil, streams every recorded ProgressPoint (periodic
+	// samples and best-cost improvements) while the search runs — the hook
+	// behind the public API's WithProgress option. Multi-chain solvers
+	// serialize invocations, so the callback needs no locking of its own,
+	// but it runs on the search's critical path and must be fast. Callback
+	// order across chains is scheduling-dependent; the chosen plan is not.
+	Progress func(ProgressPoint)
 	// InitialPlan seeds the chain instead of the greedy plan. It must be
 	// fully assigned.
 	InitialPlan *core.Plan

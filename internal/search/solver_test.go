@@ -2,6 +2,7 @@ package search
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -321,17 +322,18 @@ func TestCachedEvaluateMatchesDirect(t *testing.T) {
 	}
 }
 
-// TestSolveByNameContext: ctx cancellation stops a time-unbounded solve.
+// TestSolveCancellation: ctx cancellation aborts a solve promptly with an
+// error — a half-walked chain must not masquerade as a converged plan (the
+// contract behind the public Planner.Plan context plumbing).
 func TestSolveCancellation(t *testing.T) {
 	prob := testProblem(t, 1, 64)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := Solve(ctx, "mcmc", prob, Options{Seed: 1, MaxSteps: 100000})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Steps > 1000 {
-		t.Errorf("cancelled solve still ran %d steps", res.Steps)
+	for _, solver := range []string{"mcmc", "parallel-mcmc", "greedy"} {
+		_, err := Solve(ctx, solver, prob, Options{Seed: 1, MaxSteps: 100000, Chains: 2})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled %s solve returned %v, want context.Canceled", solver, err)
+		}
 	}
 	// The exhaustive solver must refuse to pass off a partial sweep as the
 	// optimum: cancellation is an error, not a truncated Solution.

@@ -1,0 +1,541 @@
+package realhf
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"realhf/internal/baselines"
+	"realhf/internal/core"
+	"realhf/internal/dfg"
+	"realhf/internal/estimator"
+	"realhf/internal/gpumodel"
+	"realhf/internal/hardware"
+	"realhf/internal/model"
+	"realhf/internal/search"
+)
+
+// ClusterConfig configures a Planner session.
+type ClusterConfig struct {
+	// Nodes is the default number of 8-GPU hosts for requests that leave
+	// ExperimentConfig.Nodes at 0. A request carrying its own Nodes value
+	// may plan at any scale; the planner keys its caches by cluster shape.
+	Nodes int
+	// GPUsPerNode is the default device count per host (0 = 8).
+	GPUsPerNode int
+	// PlanCacheEntries bounds the LRU cache of searched plans (default 64).
+	PlanCacheEntries int
+	// ProblemCacheEntries bounds the LRU pool of per-problem cost caches
+	// and estimators (default 8). A "problem" is a distinct (cluster,
+	// workload, RPCs) combination; each owns one search.CostCache shared
+	// by every request that plans it.
+	ProblemCacheEntries int
+}
+
+// Planner is a long-lived, concurrency-safe planning service — the
+// session-oriented replacement for one-shot Auto calls. It owns the
+// cluster model, per-model costers and estimators, a pool of memoized
+// search.CostCache instances (one per distinct problem, shared across
+// requests and search chains), and an LRU plan cache keyed by a canonical
+// ExperimentConfig fingerprint, so a repeated or equivalent request is
+// answered without re-running MCMC at all.
+//
+// Any number of goroutines may call Plan, Heuristic and LoadExperiment
+// concurrently. Identical concurrent requests may each run a solve (the
+// cache is at-least-once, not at-most-once), but step-bounded searches are
+// deterministic, so every caller still receives the same plan fingerprint.
+// Cached Estimates, traces and stats are shared and must be treated as
+// immutable; returned Plans are private clones and safe to mutate.
+type Planner struct {
+	cc ClusterConfig
+
+	mu       sync.Mutex
+	costers  map[costerKey]gpumodel.ModelCoster
+	problems *lruCache // problemKey -> *problemState
+	plans    *lruCache // request fingerprint -> canonical *Experiment
+
+	planRequests, planHits, planMisses atomic.Int64
+}
+
+// costerKey identifies one per-model coster: the oracle's tables depend
+// only on the cluster shape and the architecture.
+type costerKey struct {
+	nodes, gpusPerNode int
+	arch               string
+}
+
+// problemState is what the planner keeps per distinct problem: the
+// estimator over the problem's role→coster mapping and the memoized cost
+// cache every request for this problem shares. (A CostCache is scoped to
+// one problem/estimator pair — see its contract — which is exactly the
+// granularity of this pool.)
+type problemState struct {
+	est   *estimator.Estimator
+	cache *search.CostCache
+}
+
+// NewPlanner creates a planning session. The zero ClusterConfig is valid:
+// requests then size the cluster themselves via ExperimentConfig.Nodes.
+func NewPlanner(cc ClusterConfig) *Planner {
+	if cc.PlanCacheEntries <= 0 {
+		cc.PlanCacheEntries = 64
+	}
+	if cc.ProblemCacheEntries <= 0 {
+		cc.ProblemCacheEntries = 8
+	}
+	return &Planner{
+		cc:       cc,
+		costers:  map[costerKey]gpumodel.ModelCoster{},
+		problems: newLRU(cc.ProblemCacheEntries),
+		plans:    newLRU(cc.PlanCacheEntries),
+	}
+}
+
+var (
+	defaultPlannerOnce sync.Once
+	defaultPlannerInst *Planner
+)
+
+// DefaultPlanner returns the lazily-initialized package-level Planner
+// behind Auto, Heuristic and LoadExperiment.
+func DefaultPlanner() *Planner {
+	defaultPlannerOnce.Do(func() { defaultPlannerInst = NewPlanner(ClusterConfig{}) })
+	return defaultPlannerInst
+}
+
+// AutoOption customizes one Plan request.
+type AutoOption func(*autoOptions)
+
+type autoOptions struct {
+	progress   func(search.ProgressPoint)
+	warmStarts []*core.Plan
+	solver     string
+	chains     int
+	hasChains  bool
+	runOpts    *RunOptions
+}
+
+// WithProgress streams the search's convergence (periodic samples and every
+// best-cost improvement) to fn while Plan runs. Multi-chain solvers
+// serialize invocations; fn runs on the search's critical path and must be
+// fast. Plan-cache hits skip the search and emit no points.
+func WithProgress(fn func(search.ProgressPoint)) AutoOption {
+	return func(o *autoOptions) { o.progress = fn }
+}
+
+// WithWarmStart seeds the search with previously found plans (e.g. loaded
+// via LoadExperiment from an earlier session): the solver starts from the
+// cheapest of the warm starts and its own greedy/heuristic seeds. Warm
+// starts participate in the plan-cache key, so requests with different
+// seeds never alias.
+func WithWarmStart(plans ...*core.Plan) AutoOption {
+	return func(o *autoOptions) { o.warmStarts = append(o.warmStarts, plans...) }
+}
+
+// WithSolver overrides ExperimentConfig.Solver for this request ("mcmc",
+// "parallel-mcmc", "greedy", "exhaustive", or any registered name).
+func WithSolver(name string) AutoOption {
+	return func(o *autoOptions) { o.solver = name }
+}
+
+// WithSearchParallelism overrides ExperimentConfig.SearchParallelism for
+// this request (the number of concurrent MCMC chains).
+func WithSearchParallelism(chains int) AutoOption {
+	return func(o *autoOptions) { o.chains, o.hasChains = chains, true }
+}
+
+// WithRunOptions binds run options to the returned Experiment: its Run()
+// executes under them instead of DefaultRunOptions. Run options do not
+// affect planning and are not part of the plan-cache key.
+func WithRunOptions(opts RunOptions) AutoOption {
+	return func(o *autoOptions) { o.runOpts = &opts }
+}
+
+// merge fills request fields the caller left at zero from the session
+// defaults.
+func (p *Planner) merge(cfg ExperimentConfig) ExperimentConfig {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = p.cc.Nodes
+	}
+	if cfg.GPUsPerNode == 0 {
+		cfg.GPUsPerNode = p.cc.GPUsPerNode
+	}
+	return cfg
+}
+
+// Plan searches for an efficient execution plan for cfg — the session
+// analogue of Auto. The context is honored for the whole request:
+// cancellation or a deadline aborts the solver mid-search with a wrapped
+// context error. An equivalent step-bounded config planned before (same
+// canonical fingerprint after defaults, same warm starts) is answered from
+// the plan cache without running a solver; the returned Experiment then has
+// Cached == true and carries the original solve's estimate, trace and
+// stats. Time-bounded searches (SearchTime with SearchSteps == 0) are
+// nondeterministic and bypass the plan cache.
+func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOption) (*Experiment, error) {
+	var o autoOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	cfg = p.merge(cfg)
+	if o.solver != "" {
+		cfg.Solver = o.solver
+	}
+	if o.hasChains {
+		cfg.SearchParallelism = o.chains
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("realhf: plan request cancelled: %w", err)
+	}
+
+	cacheable := cfg.SearchSteps > 0
+	key := cfg.fingerprint() + warmStartKey(o.warmStarts)
+	p.planRequests.Add(1)
+	if cacheable {
+		if exp, ok := p.cachedPlan(key); ok {
+			p.planHits.Add(1)
+			return exp.instantiate(o.runOpts), nil
+		}
+	}
+
+	solver, err := search.New(cfg.Solver)
+	if err != nil {
+		return nil, err
+	}
+	ps, hw, g, models, err := p.problemFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan := core.NewPlan(hw, g, models)
+	var seeds []*core.Plan
+	if heur, err := baselines.BuildHeuristic(hw, g, models); err == nil {
+		seeds = append(seeds, heur)
+	}
+	seeds = append(seeds, o.warmStarts...)
+	sol, stats, err := solver.Solve(ctx,
+		search.Problem{Est: ps.est, Plan: plan},
+		search.Options{
+			MaxSteps:       cfg.SearchSteps,
+			TimeLimit:      cfg.SearchTime,
+			Seed:           cfg.Seed,
+			Chains:         cfg.SearchParallelism,
+			SeedCandidates: seeds,
+			Cache:          ps.cache,
+			Progress:       o.progress,
+		})
+	if err != nil {
+		return nil, err
+	}
+	p.planMisses.Add(1) // a completed solve, cacheable or not
+	exp := &Experiment{
+		Config: cfg, Cluster: hw, Plan: sol.Plan,
+		Estimate: sol.Estimate, SearchTrace: stats.Trace, SearchStats: stats,
+		est: ps.est, runOpts: o.runOpts,
+	}
+	if cacheable {
+		p.storePlan(key, exp)
+	}
+	return exp, nil
+}
+
+// Heuristic builds cfg's experiment with the pre-training-style symmetric
+// 3D plan instead of a searched one (the paper's REAL-Heuristic baseline),
+// sharing the session's estimators and cost caches — its evaluation also
+// pre-warms the cost cache a later Plan call for the same problem draws on.
+// No search runs, so the only applicable option is WithRunOptions; passing
+// a search-shaping option (WithProgress, WithWarmStart, WithSolver,
+// WithSearchParallelism) is an error rather than a silent no-op.
+func (p *Planner) Heuristic(cfg ExperimentConfig, opts ...AutoOption) (*Experiment, error) {
+	var o autoOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.progress != nil || o.warmStarts != nil || o.solver != "" || o.hasChains {
+		return nil, fmt.Errorf("realhf: Heuristic runs no search and accepts only WithRunOptions")
+	}
+	cfg = p.merge(cfg).withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ps, hw, g, models, err := p.problemFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := baselines.BuildHeuristic(hw, g, models)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ps.cache.Evaluate(ps.est, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{
+		Config: cfg, Cluster: hw, Plan: plan, Estimate: res,
+		est: ps.est, runOpts: o.runOpts,
+	}, nil
+}
+
+// LoadExperiment rebuilds a runnable Experiment from a plan saved by
+// Experiment.SavePlan (or realsearch -save): cfg reconstructs the dataflow
+// graph and cost model, the file supplies the assignments, and the session
+// estimator re-derives the estimate. The stored cluster shape and model
+// cast must agree with cfg.
+func (p *Planner) LoadExperiment(path string, cfg ExperimentConfig) (*Experiment, error) {
+	cfg = p.merge(cfg).withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ps, hw, g, models, err := p.problemFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	loaded, err := core.LoadPlan(path, g)
+	if err != nil {
+		return nil, err
+	}
+	if loaded.Cluster.Nodes != hw.Nodes || loaded.Cluster.GPUsPerNode != hw.GPUsPerNode {
+		return nil, fmt.Errorf("realhf: plan %s was saved for a %d-node×%d-GPU cluster, config describes %d×%d",
+			path, loaded.Cluster.Nodes, loaded.Cluster.GPUsPerNode, hw.Nodes, hw.GPUsPerNode)
+	}
+	for role, ms := range models {
+		lm, ok := loaded.Models[role]
+		if !ok || lm.Cfg.Name != ms.Cfg.Name {
+			return nil, fmt.Errorf("realhf: plan %s disagrees with the config about model %q", path, role)
+		}
+	}
+	// Re-attach the assignments to the config's own graph and models so the
+	// estimator and runtime see one consistent problem.
+	plan := core.NewPlan(hw, g, models)
+	for name, a := range loaded.Assign {
+		plan.Assign[name] = a
+	}
+	res, err := ps.cache.Evaluate(ps.est, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{Config: cfg, Cluster: hw, Plan: plan, Estimate: res, est: ps.est}, nil
+}
+
+// LoadExperiment rebuilds a runnable Experiment from a saved plan through
+// the default Planner — the package-level mirror of Planner.LoadExperiment.
+func LoadExperiment(path string, cfg ExperimentConfig) (*Experiment, error) {
+	return DefaultPlanner().LoadExperiment(path, cfg)
+}
+
+// PlannerStats reports a session's cache effectiveness.
+type PlannerStats struct {
+	// PlanRequests counts Plan calls that passed validation.
+	PlanRequests int64
+	// PlanCacheHits counts requests answered from the plan cache without
+	// running a solver; PlanCacheMisses counts completed solves. Requests
+	// that fail (bad config, unknown solver, cancellation) count as
+	// neither.
+	PlanCacheHits, PlanCacheMisses int64
+	// Problems is the number of live per-problem cost caches.
+	Problems int
+	// CostCacheHits and CostCacheMisses aggregate the plan-level
+	// cost-cache counters across the live problem caches (entries evicted
+	// from the problem pool drop out of the totals).
+	CostCacheHits, CostCacheMisses int64
+}
+
+// Stats snapshots the session's counters.
+func (p *Planner) Stats() PlannerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PlannerStats{
+		PlanRequests:    p.planRequests.Load(),
+		PlanCacheHits:   p.planHits.Load(),
+		PlanCacheMisses: p.planMisses.Load(),
+		Problems:        p.problems.len(),
+	}
+	p.problems.each(func(v any) {
+		ps := v.(*problemState)
+		st.CostCacheHits += ps.cache.Hits()
+		st.CostCacheMisses += ps.cache.Misses()
+	})
+	return st
+}
+
+// cachedPlan looks up the canonical experiment for a request key.
+func (p *Planner) cachedPlan(key string) (*Experiment, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.plans.get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Experiment), true
+}
+
+// storePlan caches a canonical copy of a solved experiment. The plan is
+// cloned on the way in and again on the way out (instantiate), so neither
+// the original caller nor later ones can mutate the cached assignments.
+func (p *Planner) storePlan(key string, exp *Experiment) {
+	canon := *exp
+	canon.Plan = exp.Plan.Clone()
+	canon.runOpts = nil
+	p.mu.Lock()
+	p.plans.add(key, &canon)
+	p.mu.Unlock()
+}
+
+// instantiate derives a per-request Experiment from a cached canonical one.
+func (e *Experiment) instantiate(runOpts *RunOptions) *Experiment {
+	out := *e
+	out.Plan = e.Plan.Clone()
+	out.Cached = true
+	out.runOpts = runOpts
+	return &out
+}
+
+// problemFor resolves the session state for cfg's problem — building the
+// graph and model cast fresh (they are cheap and per-request) while the
+// estimator, costers and cost cache come from the session pools.
+func (p *Planner) problemFor(cfg ExperimentConfig) (*problemState, hardware.Cluster, *dfg.Graph, map[dfg.Role]core.ModelSpec, error) {
+	hw := hardware.DefaultCluster(cfg.Nodes)
+	hw.GPUsPerNode = cfg.GPUsPerNode
+	g, models, err := buildGraph(cfg)
+	if err != nil {
+		return nil, hw, nil, nil, err
+	}
+	key := cfg.problemKey()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.problems.get(key); ok {
+		return v.(*problemState), hw, g, models, nil
+	}
+	costers := map[dfg.Role]gpumodel.ModelCoster{}
+	for role, ms := range models {
+		costers[role] = p.costerLocked(hw, ms.Cfg)
+	}
+	ps := &problemState{est: estimator.New(hw, costers), cache: search.NewCostCache()}
+	p.problems.add(key, ps)
+	return ps, hw, g, models, nil
+}
+
+// costerLocked returns the session's coster for (cluster shape, arch),
+// creating it on first use. Callers hold p.mu.
+func (p *Planner) costerLocked(hw hardware.Cluster, cfg model.Config) gpumodel.ModelCoster {
+	k := costerKey{nodes: hw.Nodes, gpusPerNode: hw.GPUsPerNode, arch: cfg.Name}
+	if mc, ok := p.costers[k]; ok {
+		return mc
+	}
+	mc := gpumodel.NewOracle(hw, cfg)
+	p.costers[k] = mc
+	return mc
+}
+
+// --- canonical request keys ---
+
+// appendToken writes a length-prefixed string, so user-chosen names can
+// never alias two different configs onto one cache key.
+func appendToken(b *strings.Builder, s string) {
+	fmt.Fprintf(b, "%d:%s,", len(s), s)
+}
+
+// problemKey canonically encodes everything that defines the problem —
+// cluster shape, workload and the full RPC list — but none of the search
+// knobs. Equal keys mean one graph, one estimator, one cost cache.
+// withDefaults must have been applied.
+func (c ExperimentConfig) problemKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster=%d.%d;work=%d.%d.%d.%d.%d;rpcs=",
+		c.Nodes, c.GPUsPerNode, c.BatchSize, c.PromptLen, c.GenLen, c.MiniBatches, c.Iterations)
+	for _, r := range c.RPCs {
+		fmt.Fprintf(&b, "[%d.%d.%d;", int(r.InterfaceType), r.BatchScale, r.MiniBatches)
+		appendToken(&b, r.Name)
+		appendToken(&b, r.ModelName)
+		appendToken(&b, r.ModelType)
+		b.WriteString("in;")
+		for _, s := range r.InputData {
+			appendToken(&b, s)
+		}
+		b.WriteString("out;")
+		for _, s := range r.OutputData {
+			appendToken(&b, s)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// fingerprint extends problemKey with the search knobs: two configs with
+// equal fingerprints request the same deterministic solve, which is what
+// the plan cache keys on. withDefaults must have been applied.
+func (c ExperimentConfig) fingerprint() string {
+	return c.problemKey() + fmt.Sprintf(";solver=%s;steps=%d;time=%d;seed=%d;chains=%d",
+		c.Solver, c.SearchSteps, int64(c.SearchTime), c.Seed, c.SearchParallelism)
+}
+
+// warmStartKey folds WithWarmStart plans into the request key.
+func warmStartKey(plans []*core.Plan) string {
+	if len(plans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(";warm=")
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		b.WriteString(p.Fingerprint())
+		b.WriteString("+")
+	}
+	return b.String()
+}
+
+// --- minimal LRU, guarded by the planner mutex ---
+
+type lruCache struct {
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) add(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }
+
+func (c *lruCache) each(f func(any)) {
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		f(el.Value.(*lruEntry).val)
+	}
+}

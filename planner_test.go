@@ -1,0 +1,609 @@
+package realhf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"realhf/internal/search"
+)
+
+func plannerConfig(seed int64, steps int) ExperimentConfig {
+	return ExperimentConfig{
+		Nodes: 1, BatchSize: 64, PromptLen: 256, GenLen: 256,
+		RPCs: PPORPCs("llama7b", "llama7b-critic"), SearchSteps: steps, Seed: seed,
+	}
+}
+
+func TestPlannerPlanCacheHitDeterminism(t *testing.T) {
+	p := NewPlanner(ClusterConfig{})
+	cfg := plannerConfig(3, 200)
+
+	first, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first request must run a solve, not hit the cache")
+	}
+	second, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("repeated config must be answered from the plan cache")
+	}
+	if second.Plan.Fingerprint() != first.Plan.Fingerprint() {
+		t.Error("cached plan fingerprint differs from the original solve")
+	}
+	if second.Estimate.Cost != first.Estimate.Cost {
+		t.Error("cached estimate differs from the original solve")
+	}
+
+	// An equivalent config — zero values that withDefaults resolves to the
+	// same canonical request — must hit the same cache entry.
+	equiv := cfg
+	equiv.GPUsPerNode = 8 // default
+	equiv.Solver = "mcmc" // default
+	third, err := p.Plan(context.Background(), equiv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached || third.Plan.Fingerprint() != first.Plan.Fingerprint() {
+		t.Error("equivalent config must hit the plan cache with an identical plan")
+	}
+
+	// The cached plan must equal a fresh solve by an unrelated session.
+	fresh, err := NewPlanner(ClusterConfig{}).Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Plan.Fingerprint() != first.Plan.Fingerprint() {
+		t.Error("cached plan fingerprint differs from a freshly solved one")
+	}
+
+	st := p.Stats()
+	if st.PlanRequests != 3 || st.PlanCacheHits != 2 || st.PlanCacheMisses != 1 {
+		t.Errorf("stats = %+v, want 3 requests, 2 hits, 1 miss", st)
+	}
+	if st.Problems != 1 {
+		t.Errorf("one problem planned, %d cost caches live", st.Problems)
+	}
+}
+
+// TestPlannerConcurrentPlan hammers one session from many goroutines with a
+// mix of identical and distinct configs; run under -race in CI. Every
+// response for one config must carry the same plan fingerprint whether it
+// was solved or served from cache.
+func TestPlannerConcurrentPlan(t *testing.T) {
+	p := NewPlanner(ClusterConfig{})
+	cfgs := []ExperimentConfig{
+		plannerConfig(1, 120),
+		plannerConfig(9, 120), // same problem, different chain
+		plannerConfig(1, 120), // identical to cfgs[0]
+		{Nodes: 1, BatchSize: 32, PromptLen: 256, GenLen: 256, // distinct problem
+			RPCs: DPORPCs("llama7b"), SearchSteps: 120, Seed: 5},
+	}
+	const goroutines = 8
+	const iters = 3
+
+	var mu sync.Mutex
+	got := map[int]map[string]bool{} // config index -> fingerprints seen
+	var wg sync.WaitGroup
+	var firstErr error
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				idx := (g + i) % len(cfgs)
+				exp, err := p.Plan(context.Background(), cfgs[idx])
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					if got[idx] == nil {
+						got[idx] = map[string]bool{}
+					}
+					got[idx][exp.Plan.Fingerprint()] = true
+				}
+				mu.Unlock()
+				// Heuristic shares the session estimator and cost cache.
+				if _, err := p.Heuristic(cfgs[idx]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	for idx, fps := range got {
+		if len(fps) != 1 {
+			t.Errorf("config %d produced %d distinct plans: %v", idx, len(fps), fps)
+		}
+	}
+	// cfgs[0] and cfgs[2] are byte-equal requests: one plan between them.
+	for fp := range got[0] {
+		if !got[2][fp] {
+			t.Error("identical configs resolved to different plans")
+		}
+	}
+	if st := p.Stats(); st.PlanCacheHits == 0 {
+		t.Errorf("hammer saw no plan-cache hits: %+v", st)
+	}
+}
+
+func TestPlannerCancellationMidSearch(t *testing.T) {
+	p := NewPlanner(ClusterConfig{})
+	cfg := ExperimentConfig{
+		Nodes: 2, BatchSize: 256, PromptLen: 512, GenLen: 512,
+		RPCs: PPORPCs("llama7b", "llama7b-critic"),
+		// Far more steps than can finish before the cancel fires.
+		SearchSteps: 50_000_000, Seed: 1,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := p.Plan(ctx, cfg)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Plan returned %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("error %q should say the solve was cancelled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancelled Plan took %v to return", elapsed)
+	}
+	// A failed solve must be neither cached nor counted as a solve.
+	if st := p.Stats(); st.PlanCacheHits != 0 || st.PlanCacheMisses != 0 {
+		t.Errorf("cancelled request polluted the counters: %+v", st)
+	}
+
+	// An already-expired deadline fails before any search work.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := p.Plan(expired, plannerConfig(1, 100)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestHeuristicValidatesLikeAuto pins the bugfix: Heuristic used to skip the
+// Nodes check that Auto performed.
+func TestHeuristicValidatesLikeAuto(t *testing.T) {
+	bad := plannerConfig(1, 100)
+	bad.Nodes = 0
+	_, autoErr := Auto(bad)
+	_, heurErr := Heuristic(bad)
+	if autoErr == nil || heurErr == nil {
+		t.Fatalf("Nodes=0 must fail: auto=%v heuristic=%v", autoErr, heurErr)
+	}
+	if autoErr.Error() != heurErr.Error() {
+		t.Errorf("Auto and Heuristic must return the same validation error: %q vs %q",
+			autoErr, heurErr)
+	}
+	bad.Nodes = -3
+	if _, err := Heuristic(bad); err == nil {
+		t.Error("negative Nodes must fail")
+	}
+
+	// Heuristic runs no search: search-shaping options are an error, not a
+	// silent no-op; WithRunOptions still applies.
+	p := NewPlanner(ClusterConfig{})
+	good := plannerConfig(1, 100)
+	if _, err := p.Heuristic(good, WithSolver("greedy")); err == nil {
+		t.Error("Heuristic must reject search-shaping options")
+	}
+	if _, err := p.Heuristic(good, WithProgress(func(search.ProgressPoint) {})); err == nil {
+		t.Error("Heuristic must reject WithProgress")
+	}
+	exp, err := p.Heuristic(good, WithRunOptions(RunOptions{UseCUDAGraph: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OverlapComm {
+		t.Error("Heuristic must honor WithRunOptions")
+	}
+}
+
+func TestPlannerSessionDefaults(t *testing.T) {
+	p := NewPlanner(ClusterConfig{Nodes: 1})
+	cfg := plannerConfig(2, 100)
+	cfg.Nodes = 0 // inherit the session cluster
+	exp, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Config.Nodes != 1 || exp.Cluster.Nodes != 1 {
+		t.Errorf("session default Nodes not applied: config=%d cluster=%d",
+			exp.Config.Nodes, exp.Cluster.Nodes)
+	}
+}
+
+func TestPlannerOptions(t *testing.T) {
+	p := NewPlanner(ClusterConfig{})
+	cfg := plannerConfig(4, 150)
+
+	// WithProgress streams a monotone best-cost curve.
+	var pts []search.ProgressPoint
+	exp, err := p.Plan(context.Background(), cfg, WithProgress(func(pt search.ProgressPoint) {
+		pts = append(pts, pt)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("WithProgress saw no points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].BestCost > pts[i-1].BestCost+1e-12 {
+			t.Errorf("best cost increased at point %d: %v -> %v", i, pts[i-1].BestCost, pts[i].BestCost)
+		}
+	}
+
+	// Cache hits skip the search and emit no points.
+	n := len(pts)
+	cached, err := p.Plan(context.Background(), cfg, WithProgress(func(pt search.ProgressPoint) {
+		pts = append(pts, pt)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached || len(pts) != n {
+		t.Errorf("cached request streamed %d new progress points", len(pts)-n)
+	}
+
+	// WithSolver overrides the engine; greedy is deterministic and distinct
+	// from the cached MCMC request.
+	greedy, err := p.Plan(context.Background(), cfg, WithSolver("greedy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Cached {
+		t.Error("different solver must not alias the mcmc cache entry")
+	}
+	if greedy.Config.Solver != "greedy" {
+		t.Errorf("WithSolver not applied: %q", greedy.Config.Solver)
+	}
+	if _, err := p.Plan(context.Background(), cfg, WithSolver("no-such-solver")); err == nil {
+		t.Error("unknown solver must fail")
+	}
+
+	// WithSearchParallelism upgrades the default solver to parallel-mcmc.
+	par, err := p.Plan(context.Background(), cfg, WithSearchParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Config.Solver != "parallel-mcmc" || len(par.SearchStats.Chains) != 2 {
+		t.Errorf("WithSearchParallelism(2): solver=%q chains=%d",
+			par.Config.Solver, len(par.SearchStats.Chains))
+	}
+
+	// WithWarmStart seeds the solve and keys the cache separately.
+	warm, err := p.Plan(context.Background(), cfg, WithWarmStart(exp.Plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cached {
+		t.Error("warm-started request must not alias the plain cache entry")
+	}
+	if warm.Estimate.Cost > exp.Estimate.Cost+1e-12 {
+		t.Errorf("warm start (%.4f) lost to its own seed (%.4f)", warm.Estimate.Cost, exp.Estimate.Cost)
+	}
+
+	// WithRunOptions binds execution options to Run().
+	serial, err := p.Plan(context.Background(), cfg,
+		WithRunOptions(RunOptions{UseCUDAGraph: true, OverlapComm: false}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := serial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OverlapComm {
+		t.Error("Run() ignored WithRunOptions (overlap should be off)")
+	}
+	// ... including on cache hits.
+	cachedSerial, err := p.Plan(context.Background(), cfg,
+		WithRunOptions(RunOptions{UseCUDAGraph: true, OverlapComm: false}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := cachedSerial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cachedSerial.Cached || rep2.OverlapComm {
+		t.Error("cached experiment must honor the request's run options")
+	}
+}
+
+func TestSavePlanLoadExperimentRoundtrip(t *testing.T) {
+	p := NewPlanner(ClusterConfig{})
+	cfg := plannerConfig(6, 150)
+	exp, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := exp.SavePlan(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := p.LoadExperiment(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Plan.Fingerprint() != exp.Plan.Fingerprint() {
+		t.Error("loaded plan differs from the saved one")
+	}
+	if loaded.Estimate.Cost != exp.Estimate.Cost {
+		t.Errorf("loaded estimate %.6f != original %.6f", loaded.Estimate.Cost, exp.Estimate.Cost)
+	}
+	rep, err := loaded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OOM || rep.IterationTime <= 0 {
+		t.Errorf("loaded experiment failed to run: %+v", rep)
+	}
+
+	// The package-level mirror goes through the default planner.
+	if _, err := LoadExperiment(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cluster-shape mismatches are rejected.
+	wrong := cfg
+	wrong.Nodes = 2
+	if _, err := p.LoadExperiment(path, wrong); err == nil {
+		t.Error("node-count mismatch must fail")
+	}
+	// Model-cast mismatches are rejected.
+	wrongModels := cfg
+	wrongModels.RPCs = PPORPCs("llama13b", "llama7b-critic")
+	if _, err := p.LoadExperiment(path, wrongModels); err == nil {
+		t.Error("model mismatch must fail")
+	}
+}
+
+func TestAlgoPresets(t *testing.T) {
+	base := ExperimentConfig{Nodes: 1, BatchSize: 64, PromptLen: 256, GenLen: 256}
+
+	cases := []struct {
+		algo  string
+		calls int
+	}{{"ppo", 6}, {"dpo", 2}, {"grpo", 4}, {"remax", 5}}
+	for _, tc := range cases {
+		rpcs, err := AlgoRPCs(tc.algo, "llama7b", "llama7b-critic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.RPCs = rpcs
+		g, models, err := buildGraph(cfg.withDefaults())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.algo, err)
+		}
+		if len(g.Nodes) != tc.calls {
+			t.Errorf("%s graph has %d calls, want %d", tc.algo, len(g.Nodes), tc.calls)
+		}
+		if !models["actor"].Trainable {
+			t.Errorf("%s: actor must be trainable", tc.algo)
+		}
+	}
+	if _, err := AlgoRPCs("rlaif", "llama7b", "llama7b-critic"); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+
+	// Workload shaping: GRPO's calls see the grouped batch, DPO's the
+	// doubled pair batch, and DPO/ReMax train full-batch.
+	check := func(algo string, wantBatch, wantTrainMB int) {
+		t.Helper()
+		rpcs, err := AlgoRPCs(algo, "llama7b", "llama7b-critic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.RPCs = rpcs
+		g, _, err := buildGraph(cfg.withDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range g.Nodes {
+			if n.Work.Batch != wantBatch {
+				t.Errorf("%s call %s batch=%d, want %d", algo, n.Name, n.Work.Batch, wantBatch)
+			}
+			if n.Name == "ActorTrain" && n.Work.MiniBatches != wantTrainMB {
+				t.Errorf("%s train MiniBatches=%d, want %d", algo, n.Work.MiniBatches, wantTrainMB)
+			}
+		}
+	}
+	check("grpo", 64*GRPOGroupSize, 8)
+	check("dpo", 64*2, 1)
+	check("remax", 64, 1)
+
+	// Presets must plan and run end to end through the session API.
+	p := NewPlanner(ClusterConfig{Nodes: 1})
+	for _, algo := range []string{"dpo", "remax"} {
+		rpcs, err := AlgoRPCs(algo, "llama7b", "llama7b-critic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.RPCs = rpcs
+		cfg.SearchSteps = 120
+		exp, err := p.Plan(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		rep, err := exp.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if rep.OOM {
+			t.Errorf("%s plan OOMed: %v", algo, rep.Errors)
+		}
+	}
+}
+
+// TestConfigFingerprintCanonical guards the cache key: search knobs are in
+// the fingerprint but not the problem key, and names cannot alias.
+func TestConfigFingerprintCanonical(t *testing.T) {
+	a := plannerConfig(1, 100).withDefaults()
+	b := a
+	b.Seed = 2
+	if a.problemKey() != b.problemKey() {
+		t.Error("seed must not change the problem key")
+	}
+	if a.fingerprint() == b.fingerprint() {
+		t.Error("seed must change the request fingerprint")
+	}
+	c := a
+	c.BatchSize *= 2
+	if a.problemKey() == c.problemKey() {
+		t.Error("batch size must change the problem key")
+	}
+	// Length-prefixed tokens: ("ab","c") must not alias ("a","bc").
+	d := a
+	d.RPCs = append([]ModelFunctionCallDef{}, a.RPCs...)
+	d.RPCs[0].InputData = []string{"ab", "c"}
+	e := a
+	e.RPCs = append([]ModelFunctionCallDef{}, a.RPCs...)
+	e.RPCs[0].InputData = []string{"a", "bc"}
+	if d.problemKey() == e.problemKey() {
+		t.Error("token lists alias under concatenation")
+	}
+}
+
+// TestPlannerLRUEviction exercises the bounded plan cache.
+func TestPlannerLRUEviction(t *testing.T) {
+	p := NewPlanner(ClusterConfig{PlanCacheEntries: 2, ProblemCacheEntries: 1})
+	mk := func(seed int64) ExperimentConfig { return plannerConfig(seed, 80) }
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := p.Plan(context.Background(), mk(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seed 1 was evicted by seeds 2 and 3; re-planning it is a miss.
+	again, err := p.Plan(context.Background(), mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached {
+		t.Error("evicted entry served from cache")
+	}
+	// Seed 3 is still resident.
+	hit, err := p.Plan(context.Background(), mk(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Error("resident entry missed the cache")
+	}
+}
+
+// TestCachedPlanIsolation: mutating a returned plan must not corrupt the
+// cache or other callers.
+func TestCachedPlanIsolation(t *testing.T) {
+	p := NewPlanner(ClusterConfig{})
+	cfg := plannerConfig(8, 120)
+	first, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := first.Plan.Fingerprint()
+	for name := range first.Plan.Assign {
+		delete(first.Plan.Assign, name) // vandalize the caller's copy
+		break
+	}
+	second, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Plan.Fingerprint() != fp {
+		t.Error("cache entry was corrupted by a caller's mutation")
+	}
+	for name := range second.Plan.Assign {
+		delete(second.Plan.Assign, name)
+		break
+	}
+	third, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Plan.Fingerprint() != fp {
+		t.Error("cache entry was corrupted by a cached caller's mutation")
+	}
+}
+
+func TestPlannerTimeBoundedBypassesCache(t *testing.T) {
+	p := NewPlanner(ClusterConfig{})
+	cfg := plannerConfig(11, 0)
+	cfg.SearchTime = 50 * time.Millisecond
+	a, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cached || b.Cached {
+		t.Error("time-bounded searches must not be replayed from the plan cache")
+	}
+}
+
+func TestPlannerStatsCostCacheReuse(t *testing.T) {
+	p := NewPlanner(ClusterConfig{})
+	cfg := plannerConfig(1, 150)
+	if _, err := p.Plan(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	st1 := p.Stats()
+	// A different seed re-searches the same problem over the warm cache.
+	cfg.Seed = 2
+	if _, err := p.Plan(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	st2 := p.Stats()
+	if st2.Problems != 1 {
+		t.Errorf("one problem, %d cost caches", st2.Problems)
+	}
+	if st2.CostCacheHits <= st1.CostCacheHits {
+		t.Error("re-searching a known problem must reuse its cost cache")
+	}
+}
+
+func ExamplePlanner() {
+	planner := NewPlanner(ClusterConfig{Nodes: 1})
+	cfg := ExperimentConfig{
+		BatchSize: 64, PromptLen: 256, GenLen: 256,
+		RPCs: PPORPCs("llama7b", "llama7b-critic"), SearchSteps: 150, Seed: 1,
+	}
+	first, _ := planner.Plan(context.Background(), cfg)
+	second, _ := planner.Plan(context.Background(), cfg)
+	fmt.Println("second request cached:", second.Cached,
+		"identical:", first.Plan.Fingerprint() == second.Plan.Fingerprint())
+	// Output: second request cached: true identical: true
+}

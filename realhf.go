@@ -7,20 +7,25 @@
 //
 // The public API mirrors the paper's user interface (Fig. 18): an
 // experiment is a list of ModelFunctionCallDef values wired together by
-// named data dependencies; Auto derives an efficient execution plan via
-// MCMC search over a profiling-backed cost model, and Run executes it.
-// Physical GPUs are replaced by a calibrated analytic cluster model (see
-// DESIGN.md); every system layer above the kernels — planner, estimator,
-// reallocation, runtime protocol — runs for real.
+// named data dependencies. A long-lived Planner session derives efficient
+// execution plans via MCMC search over a profiling-backed cost model,
+// reusing per-model costers, memoized cost caches and previously searched
+// plans across requests, and Run executes the chosen plan. Physical GPUs
+// are replaced by a calibrated analytic cluster model (see DESIGN.md);
+// every system layer above the kernels — planner, estimator, reallocation,
+// runtime protocol — runs for real.
 //
-//	exp, err := realhf.Auto(realhf.ExperimentConfig{
-//	    Nodes:     2,
+//	planner := realhf.NewPlanner(realhf.ClusterConfig{Nodes: 2})
+//	exp, err := planner.Plan(ctx, realhf.ExperimentConfig{
 //	    BatchSize: 512,
 //	    PromptLen: 1024,
 //	    GenLen:    1024,
 //	    RPCs:      realhf.PPORPCs("llama7b", "llama7b-critic"),
 //	})
 //	report, err := exp.Run()
+//
+// The one-shot Auto/Heuristic helpers — the paper's @auto decorator shape —
+// survive as thin wrappers over a lazily-initialized default Planner.
 package realhf
 
 import (
@@ -29,11 +34,9 @@ import (
 	"strings"
 	"time"
 
-	"realhf/internal/baselines"
 	"realhf/internal/core"
 	"realhf/internal/dfg"
 	"realhf/internal/estimator"
-	"realhf/internal/gpumodel"
 	"realhf/internal/hardware"
 	"realhf/internal/model"
 	"realhf/internal/runtime"
@@ -80,6 +83,16 @@ type ModelFunctionCallDef struct {
 	// InputData and OutputData wire the dataflow graph.
 	InputData  []string
 	OutputData []string
+	// BatchScale multiplies the experiment's BatchSize for this call
+	// (0 or 1 means unscaled). The algorithm presets use it where a
+	// workflow inflates the sequence count per prompt: GRPO's grouped
+	// generation processes BatchSize×GroupSize sequences, and DPO's calls
+	// see both the chosen and rejected sequence of every preference pair.
+	BatchScale int
+	// MiniBatches overrides ExperimentConfig.MiniBatches for this TrainStep
+	// call (0 keeps the experiment-wide default). DPO and ReMax train over
+	// the full batch (MiniBatches = 1) while PPO defaults to 8.
+	MiniBatches int
 }
 
 // ExperimentConfig describes one RLHF experiment, the input to Auto.
@@ -151,6 +164,16 @@ func (c ExperimentConfig) withDefaults() ExperimentConfig {
 	return c
 }
 
+// validate reports configuration errors. It is the single checker shared by
+// every planning entry point — Auto, Heuristic and Planner.Plan — so all of
+// them reject a bad config with the same error.
+func (c ExperimentConfig) validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("realhf: Nodes must be positive")
+	}
+	return nil
+}
+
 // PPORPCs returns the standard PPO workflow of Fig. 4: actor generation,
 // reward/ref/critic inference, and actor/critic training.
 func PPORPCs(actorType, criticType string) []ModelFunctionCallDef {
@@ -168,6 +191,114 @@ func PPORPCs(actorType, criticType string) []ModelFunctionCallDef {
 		{ModelName: "critic", ModelType: criticType, InterfaceType: TrainStep,
 			InputData: []string{"seq", "r", "v", "ref_logp", "logp"}},
 	}
+}
+
+// DPORPCs returns the DPO workflow of paper Fig. 16: reference inference
+// over preference pairs feeding one actor training call — no generation, no
+// critic. BatchSize counts preference pairs; both the chosen and rejected
+// sequence of each pair pass through every call (BatchScale 2), and
+// training runs over the full batch (MiniBatches 1).
+func DPORPCs(actorType string) []ModelFunctionCallDef {
+	return []ModelFunctionCallDef{
+		{Name: "RefInf", ModelName: "ref", ModelType: actorType,
+			InterfaceType: Inference, BatchScale: 2,
+			InputData: []string{"pairs"}, OutputData: []string{"ref_logp"}},
+		{Name: "ActorTrain", ModelName: "actor", ModelType: actorType,
+			InterfaceType: TrainStep, BatchScale: 2, MiniBatches: 1,
+			InputData: []string{"pairs", "ref_logp"}},
+	}
+}
+
+// GRPOGroupSize is the per-prompt response-group size of the GRPO preset
+// (8 in the paper).
+const GRPOGroupSize = 8
+
+// GRPORPCs returns the GRPO workflow of paper Fig. 16: grouped actor
+// generation (GRPOGroupSize sampled responses per prompt) feeding reward and
+// reference inference, then actor training over group-normalized advantages
+// — GRPO has no critic. BatchSize counts prompts; every call processes
+// BatchSize×GRPOGroupSize sequences, which the paper notes makes the
+// workload compute-bounded and shrinks ReaL's relative gain.
+func GRPORPCs(actorType, rewardType string) []ModelFunctionCallDef {
+	return []ModelFunctionCallDef{
+		{Name: "ActorGen", ModelName: "actor", ModelType: actorType,
+			InterfaceType: Generate, BatchScale: GRPOGroupSize,
+			InputData: []string{"prompts"}, OutputData: []string{"seq"}},
+		{Name: "RewInf", ModelName: "reward", ModelType: rewardType,
+			InterfaceType: Inference, BatchScale: GRPOGroupSize,
+			InputData: []string{"seq"}, OutputData: []string{"r"}},
+		{Name: "RefInf", ModelName: "ref", ModelType: actorType,
+			InterfaceType: Inference, BatchScale: GRPOGroupSize,
+			InputData: []string{"seq"}, OutputData: []string{"ref_logp"}},
+		{Name: "ActorTrain", ModelName: "actor", ModelType: actorType,
+			InterfaceType: TrainStep, BatchScale: GRPOGroupSize,
+			InputData: []string{"seq", "r", "ref_logp"}},
+	}
+}
+
+// ReMaxRPCs returns the ReMax workflow of paper Fig. 16: two independent
+// generations (sampled and greedy) feed two reward inferences, and the
+// training call consumes both rewards (the greedy one is the
+// variance-reduction baseline). The two generation calls have no mutual
+// dependency — the paper notes ReaL gains most on ReMax by running them
+// concurrently on disjoint device meshes.
+func ReMaxRPCs(actorType, rewardType string) []ModelFunctionCallDef {
+	return []ModelFunctionCallDef{
+		{Name: "SampleGen", ModelName: "actor", ModelType: actorType,
+			InterfaceType: Generate,
+			InputData:     []string{"prompts"}, OutputData: []string{"sample_seq"}},
+		{Name: "GreedyGen", ModelName: "actor", ModelType: actorType,
+			InterfaceType: Generate,
+			InputData:     []string{"prompts"}, OutputData: []string{"greedy_seq"}},
+		{Name: "SampleRew", ModelName: "reward", ModelType: rewardType,
+			InterfaceType: Inference,
+			InputData:     []string{"sample_seq"}, OutputData: []string{"sample_r"}},
+		{Name: "GreedyRew", ModelName: "reward", ModelType: rewardType,
+			InterfaceType: Inference,
+			InputData:     []string{"greedy_seq"}, OutputData: []string{"greedy_r"}},
+		{Name: "ActorTrain", ModelName: "actor", ModelType: actorType,
+			InterfaceType: TrainStep, MiniBatches: 1,
+			InputData: []string{"sample_seq", "sample_r", "greedy_r"}},
+	}
+}
+
+// AlgoRPCs resolves an RLHF algorithm name ("ppo", "dpo", "grpo", "remax")
+// to its workflow preset. criticType names the scalar-head model used for
+// reward/critic roles and is ignored by DPO, which has neither.
+func AlgoRPCs(algo, actorType, criticType string) ([]ModelFunctionCallDef, error) {
+	switch algo {
+	case "ppo":
+		return PPORPCs(actorType, criticType), nil
+	case "dpo":
+		return DPORPCs(actorType), nil
+	case "grpo":
+		return GRPORPCs(actorType, criticType), nil
+	case "remax":
+		return ReMaxRPCs(actorType, criticType), nil
+	}
+	return nil, fmt.Errorf("realhf: unknown algorithm %q (have ppo, dpo, grpo, remax)", algo)
+}
+
+// PaperExperiment returns the paper's base configuration (Appendix A —
+// InstructGPT-style: prompt 1024, generation 1024, 8 PPO mini-batches,
+// weak-scaled batch of 512 prompts per 16 GPUs when batch is 0) at the
+// given scale for the named algorithm. It is the config behind
+// cmd/realsearch and cmd/realrun; tune the returned value freely.
+func PaperExperiment(algo, actorType, criticType string, nodes, batch int) (ExperimentConfig, error) {
+	rpcs, err := AlgoRPCs(algo, actorType, criticType)
+	if err != nil {
+		return ExperimentConfig{}, err
+	}
+	if batch == 0 {
+		batch = 512 * nodes / 2
+		if batch < 32 {
+			batch = 32
+		}
+	}
+	return ExperimentConfig{
+		Nodes: nodes, BatchSize: batch, PromptLen: 1024, GenLen: 1024,
+		MiniBatches: 8, RPCs: rpcs,
+	}, nil
 }
 
 // parseModelType resolves a ModelType string.
@@ -216,6 +347,9 @@ func buildGraph(c ExperimentConfig) (*dfg.Graph, map[dfg.Role]core.ModelSpec, er
 			}
 			var typ dfg.CallType
 			work := dfg.Workload{Batch: c.BatchSize, PromptLen: c.PromptLen, GenLen: c.GenLen}
+			if rpc.BatchScale > 1 {
+				work.Batch *= rpc.BatchScale
+			}
 			switch rpc.InterfaceType {
 			case Generate:
 				typ = dfg.Generate
@@ -224,6 +358,9 @@ func buildGraph(c ExperimentConfig) (*dfg.Graph, map[dfg.Role]core.ModelSpec, er
 			case TrainStep:
 				typ = dfg.Train
 				work.MiniBatches = c.MiniBatches
+				if rpc.MiniBatches > 0 {
+					work.MiniBatches = rpc.MiniBatches
+				}
 				ms.Trainable = true
 			default:
 				return nil, nil, fmt.Errorf("realhf: bad interface type %v", rpc.InterfaceType)
@@ -280,80 +417,39 @@ type Experiment struct {
 	// SearchStats carries the solver's counters: steps, acceptance,
 	// cost-cache hit rate, and per-chain breakdowns for parallel solvers.
 	SearchStats search.Stats
+	// Cached reports that this experiment was answered from a Planner's
+	// plan cache: Plan, Estimate, SearchTrace and SearchStats were carried
+	// over from the original solve of an equivalent config, and no search
+	// ran for this request.
+	Cached bool
 
-	est *estimator.Estimator
+	est     *estimator.Estimator
+	runOpts *RunOptions
 }
 
 // Auto builds the experiment and searches for an efficient execution plan —
-// the analogue of the paper's @auto decorator. The planning engine is
-// selected by cfg.Solver via the search package's solver registry.
+// the analogue of the paper's @auto decorator. It is a thin wrapper over
+// the package's lazily-initialized default Planner: repeated Auto calls
+// share its per-model costers, memoized cost caches and plan cache, and a
+// repeated equivalent config is answered from the plan cache without
+// re-running search. The planning engine is selected by cfg.Solver via the
+// search package's solver registry.
 func Auto(cfg ExperimentConfig) (*Experiment, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Nodes <= 0 {
-		return nil, fmt.Errorf("realhf: Nodes must be positive")
-	}
-	solver, err := search.New(cfg.Solver)
-	if err != nil {
-		return nil, err
-	}
-	hw := hardware.DefaultCluster(cfg.Nodes)
-	hw.GPUsPerNode = cfg.GPUsPerNode
-	g, models, err := buildGraph(cfg)
-	if err != nil {
-		return nil, err
-	}
-	costers := map[dfg.Role]gpumodel.ModelCoster{}
-	for role, ms := range models {
-		costers[role] = gpumodel.NewOracle(hw, ms.Cfg)
-	}
-	est := estimator.New(hw, costers)
-	plan := core.NewPlan(hw, g, models)
-	var seeds []*core.Plan
-	if heur, err := baselines.BuildHeuristic(hw, g, models); err == nil {
-		seeds = append(seeds, heur)
-	}
-	sol, stats, err := solver.Solve(context.Background(),
-		search.Problem{Est: est, Plan: plan},
-		search.Options{
-			MaxSteps:       cfg.SearchSteps,
-			TimeLimit:      cfg.SearchTime,
-			Seed:           cfg.Seed,
-			Chains:         cfg.SearchParallelism,
-			SeedCandidates: seeds,
-		})
-	if err != nil {
-		return nil, err
-	}
-	return &Experiment{
-		Config: cfg, Cluster: hw, Plan: sol.Plan,
-		Estimate: sol.Estimate, SearchTrace: stats.Trace, SearchStats: stats, est: est,
-	}, nil
+	return DefaultPlanner().Plan(context.Background(), cfg)
 }
 
 // Heuristic builds the same experiment with the pre-training-style symmetric
-// 3D plan instead of a searched one (the paper's REAL-Heuristic baseline).
+// 3D plan instead of a searched one (the paper's REAL-Heuristic baseline),
+// through the default Planner's shared caches and config validation.
 func Heuristic(cfg ExperimentConfig) (*Experiment, error) {
-	cfg = cfg.withDefaults()
-	hw := hardware.DefaultCluster(cfg.Nodes)
-	hw.GPUsPerNode = cfg.GPUsPerNode
-	g, models, err := buildGraph(cfg)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := baselines.BuildHeuristic(hw, g, models)
-	if err != nil {
-		return nil, err
-	}
-	costers := map[dfg.Role]gpumodel.ModelCoster{}
-	for role, ms := range models {
-		costers[role] = gpumodel.NewOracle(hw, ms.Cfg)
-	}
-	est := estimator.New(hw, costers)
-	res, err := est.Evaluate(plan)
-	if err != nil {
-		return nil, err
-	}
-	return &Experiment{Config: cfg, Cluster: hw, Plan: plan, Estimate: res, est: est}, nil
+	return DefaultPlanner().Heuristic(cfg)
+}
+
+// SavePlan writes the experiment's execution plan to a JSON file. Load it
+// later with LoadExperiment (or Planner.LoadExperiment) to run the same
+// plan without re-searching — the plan-once-run-many workflow.
+func (e *Experiment) SavePlan(path string) error {
+	return core.SavePlan(e.Plan, path)
 }
 
 // RunOptions configures plan execution — the public mirror of the runtime
@@ -395,9 +491,13 @@ type RunReport struct {
 }
 
 // Run executes the experiment's plan on the simulated cluster through the
-// runtime engine (master worker + per-GPU model workers) under
-// DefaultRunOptions.
+// runtime engine (master worker + per-GPU model workers). It uses the
+// options bound by WithRunOptions at planning time, or DefaultRunOptions
+// when none were set.
 func (e *Experiment) Run() (*RunReport, error) {
+	if e.runOpts != nil {
+		return e.RunWith(*e.runOpts)
+	}
 	return e.RunWith(DefaultRunOptions())
 }
 

@@ -250,7 +250,10 @@ func TestAutoDeterministicAcrossSolverRuns(t *testing.T) {
 	if a.Plan.Fingerprint() != b.Plan.Fingerprint() {
 		t.Error("same seed must reproduce the same parallel-searched plan")
 	}
-	if a.SearchStats.CacheMisses == 0 {
+	// Auto shares the default Planner's session cost cache, so a solve that
+	// follows an equivalent problem may see zero misses; lookups must still
+	// be accounted.
+	if a.SearchStats.CacheHits+a.SearchStats.CacheMisses == 0 {
 		t.Error("search stats must report cost-cache counters")
 	}
 }
