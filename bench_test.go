@@ -316,6 +316,42 @@ func BenchmarkParallelMCMCWallClock(b *testing.B) {
 	}
 }
 
+// BenchmarkOverlapAwareSearch pins the search-side ±overlap ablation: one
+// workload planned under serialized and under overlapped cost semantics
+// (same seed and step budget; the overlap-aware solve warm-starts from the
+// serialized winner), both chosen plans executed on the overlapped runtime.
+// All metrics are deterministic virtual quantities gated exactly by the CI
+// bench-regression check; overlap-vs-serial-x must never exceed 1.
+func BenchmarkOverlapAwareSearch(b *testing.B) {
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+	pr, err := experiments.NewProblem(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial, err := pr.SearchPlanFor(false, benchSteps, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		over, err := pr.SearchPlanOverlapWarm(benchSteps, 1, serial.Plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sRep, err := realruntime.RunOverlapped(serial.Plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oRep, err := realruntime.RunOverlapped(over.Plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sRep.MakespanV, "serial-searched-e2e-s")
+		b.ReportMetric(oRep.MakespanV, "overlap-searched-e2e-s")
+		b.ReportMetric(oRep.MakespanV/sRep.MakespanV, "overlap-vs-serial-x")
+	}
+}
+
 // BenchmarkPlannerCachedPlan measures the steady-state cost of a Planner
 // session answering a repeated request from the plan cache — no MCMC, no
 // estimator work, one keyed lookup plus a private plan clone. The

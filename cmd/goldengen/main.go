@@ -1,7 +1,9 @@
 // Command goldengen regenerates testdata/golden_plans.txt: the pinned
 // fingerprints of the seed-fixed, step-bounded MCMC solver plus the
 // runtime engine's virtual timings (serialized and overlapped) for those
-// plans and for a fixed reallocation-heavy placement.
+// plans and for a fixed reallocation-heavy placement. A second section pins
+// the same solves under the overlap-aware cost semantics
+// (search.Problem.Overlap), so both search objectives are regression-gated.
 //
 // The file is a committed artifact. CI re-runs this tool and fails via
 // `git diff --exit-code` if any fingerprint or virtual timing changed —
@@ -15,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -141,6 +144,27 @@ func main() {
 		log.Fatalf("split plan: %v", err)
 	}
 	fmt.Fprintf(&b, "split fp=%s %s\n", split.Fingerprint(), runs)
+
+	// Overlap-aware section: the same seeds solved with candidates scored
+	// under the overlapped-engine semantics (estimator.Estimator.OverlapComm
+	// via search.Problem.Overlap). The serialized section above must stay
+	// byte-identical — the knob defaults off.
+	b.WriteString("# Overlap-aware search (candidates costed with estimator OverlapComm).\n")
+	for _, seed := range []int64{1, 7, 42} {
+		plan, est := goldenProblem()
+		res, err := search.Solve(context.Background(), "mcmc",
+			search.Problem{Est: est, Plan: plan, Overlap: true},
+			search.Options{MaxSteps: *steps, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs, err := runBoth(res.Plan, false)
+		if err != nil {
+			log.Fatalf("overlap-aware seed %d: %v", seed, err)
+		}
+		fmt.Fprintf(&b, "mcmc-overlap seed=%d steps=%d cost=%.9e fp=%s %s\n",
+			seed, *steps, res.Cost, res.Plan.Fingerprint(), runs)
+	}
 
 	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
 		log.Fatal(err)

@@ -11,6 +11,7 @@
 //	realsearch -actor 70b -critic 7b -nodes 16 -batch 4096 -steps 4000
 //	realsearch -actor 7b -critic 7b -solver parallel-mcmc -chains 8
 //	realsearch -actor 7b -critic 7b -algo remax -progress -save plan.json
+//	realsearch -actor 7b -critic 7b -overlap-cost
 package main
 
 import (
@@ -41,6 +42,8 @@ func main() {
 	chains := flag.Int("chains", 0, "parallel MCMC chains (0 = solver default)")
 	steps := flag.Int("steps", 4000, "MCMC search steps (per chain)")
 	seed := flag.Int64("seed", 1, "search seed")
+	overlapCost := flag.Bool("overlap-cost", false,
+		"search under the overlapped-engine cost semantics (optimize the makespan the overlapped runtime achieves)")
 	heuristic := flag.Bool("heuristic", false, "print the heuristic plan instead of searching")
 	progress := flag.Bool("progress", false, "stream best-cost improvements while searching")
 	save := flag.String("save", "", "write the resulting plan to this JSON file")
@@ -53,14 +56,17 @@ func main() {
 	cfg.PromptLen, cfg.GenLen = *prompt, *gen
 	cfg.SearchSteps, cfg.Seed = *steps, *seed
 	cfg.Solver, cfg.SearchParallelism = *solver, *chains
+	cfg.PlanForOverlap = *overlapCost
 	if *chains > 1 && cfg.Solver == "mcmc" {
 		// An explicit -solver mcmc with -chains N has always meant the
 		// multi-chain engine (chain 0 reproduces the sequential walker).
 		cfg.Solver = "parallel-mcmc"
 	}
 
+	planner := realhf.NewPlanner(realhf.ClusterConfig{})
+
 	if *heuristic {
-		exp, err := realhf.Heuristic(cfg)
+		exp, err := planner.Heuristic(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,8 +81,6 @@ func main() {
 	// plumbing instead of killing the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-
-	planner := realhf.NewPlanner(realhf.ClusterConfig{})
 	var opts []realhf.AutoOption
 	if *progress {
 		opts = append(opts, realhf.WithProgress(func(pt search.ProgressPoint) {
@@ -116,6 +120,10 @@ func main() {
 }
 
 func printEstimate(exp *realhf.Experiment) {
-	fmt.Printf("\nEstimated iteration time: %.1fs   MaxMem: %.1f GB   OOM: %v\n",
-		exp.Estimate.TimeCost, float64(exp.Estimate.MaxMem)/(1<<30), exp.Estimate.OOM)
+	sem := "serialized"
+	if exp.Config.PlanForOverlap {
+		sem = "overlapped"
+	}
+	fmt.Printf("\nEstimated iteration time (%s schedule): %.1fs   MaxMem: %.1f GB   OOM: %v\n",
+		sem, exp.Estimate.TimeCost, float64(exp.Estimate.MaxMem)/(1<<30), exp.Estimate.OOM)
 }

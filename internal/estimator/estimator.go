@@ -199,6 +199,9 @@ func (e *Estimator) EvaluateWith(p *core.Plan, dur DurationFunc) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	if err := e.validateMeshes(g); err != nil {
+		return nil, err
+	}
 	durations := make([]float64, len(g.Nodes))
 	for _, n := range g.Nodes {
 		d, err := dur(p, n)
@@ -232,6 +235,23 @@ func (e *Estimator) EvaluateWith(p *core.Plan, dur DurationFunc) (*Result, error
 		}
 	}
 	return res, nil
+}
+
+// validateMeshes rejects augmented graphs whose nodes occupy devices outside
+// the cluster. simulate indexes its per-device lanes by global GPU, so a
+// mesh extending past the cluster would otherwise cost nothing on the
+// missing devices and silently under-cost the plan.
+func (e *Estimator) validateMeshes(g *core.AugGraph) error {
+	numGPUs := e.HW.NumGPUs()
+	for _, n := range g.Nodes {
+		for _, m := range n.Meshes {
+			if m.First < 0 || m.First+m.Count > numGPUs {
+				return fmt.Errorf("estimator: node %q occupies GPUs [%d,%d) outside the %d-GPU cluster",
+					n.Label, m.First, m.First+m.Count, numGPUs)
+			}
+		}
+	}
+	return nil
 }
 
 // simulate is Algorithm 1: nodes become ready when all parents finish; the
@@ -275,8 +295,10 @@ func simulate(g *core.AugGraph, durations []float64, numGPUs int, overlap bool) 
 		n := g.Nodes[it.id]
 		lane := laneOf(n)
 		start := it.ready
+		// Mesh bounds were validated against the cluster when the augmented
+		// graph was built, so the lane indexing needs no clamp.
 		for _, m := range n.Meshes {
-			for gpu := m.First; gpu < m.First+m.Count && gpu < numGPUs; gpu++ {
+			for gpu := m.First; gpu < m.First+m.Count; gpu++ {
 				if lastEnd[gpu*lanes+lane] > start {
 					start = lastEnd[gpu*lanes+lane]
 				}
@@ -284,7 +306,7 @@ func simulate(g *core.AugGraph, durations []float64, numGPUs int, overlap bool) 
 		}
 		end := start + durations[it.id]
 		for _, m := range n.Meshes {
-			for gpu := m.First; gpu < m.First+m.Count && gpu < numGPUs; gpu++ {
+			for gpu := m.First; gpu < m.First+m.Count; gpu++ {
 				lastEnd[gpu*lanes+lane] = end
 			}
 		}

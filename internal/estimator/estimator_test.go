@@ -2,6 +2,7 @@ package estimator
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"realhf/internal/core"
@@ -285,6 +286,22 @@ func TestEvaluateUnassignedPlanFails(t *testing.T) {
 	e := newEstimator(p)
 	if _, err := e.Evaluate(p); err == nil {
 		t.Error("unassigned plan must fail evaluation")
+	}
+}
+
+// TestEvaluateRejectsMeshBeyondCluster: a plan whose meshes extend past the
+// *estimator's* cluster must surface an error instead of silently costing
+// nothing on the missing GPUs. (Plan.Validate catches meshes beyond the
+// plan's own cluster; the hole was a plan built for a larger cluster handed
+// to a smaller estimator — the old simulate clamp under-costed it.)
+func TestEvaluateRejectsMeshBeyondCluster(t *testing.T) {
+	p := symmetricPlan(t, 2, model.LLaMA7B, model.LLaMA7B) // meshes span 16 GPUs
+	small := hardware.DefaultCluster(1)                    // estimator models 8
+	e := New(small, oracleCosters(small, p.Models))
+	if _, err := e.Evaluate(p); err == nil {
+		t.Fatal("mesh beyond the estimator's cluster must fail evaluation, not under-cost")
+	} else if !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("want a mesh-bounds error, got: %v", err)
 	}
 }
 

@@ -30,6 +30,33 @@ func TestAblationNoRealloc(t *testing.T) {
 	}
 }
 
+func TestAblationOverlapSearch(t *testing.T) {
+	rows, out, err := AblationOverlapSearch(2, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.SerialSearchedE2E <= 0 || r.OverlapSearchedE2E <= 0 {
+			t.Errorf("%s: non-positive makespan", r.Setting)
+		}
+		// The acceptance bar: searched under the objective the runtime
+		// executes, the plan can never run slower on that runtime than the
+		// serialized-searched plan (the overlap-aware solve warm-starts
+		// from it). The guarantee is exact in estimator space; the 1%
+		// margin covers the estimator-vs-runtime disagreement.
+		if r.OverlapSearchedE2E > r.SerialSearchedE2E*1.01 {
+			t.Errorf("%s: overlap-aware searched plan slower on the overlapped runtime (%.2fs > %.2fs)",
+				r.Setting, r.OverlapSearchedE2E, r.SerialSearchedE2E)
+		}
+	}
+	if !strings.Contains(out, "overlap-aware search") {
+		t.Error("missing report header")
+	}
+}
+
 func TestAblationCrossIter(t *testing.T) {
 	// A critic larger than the actor makes the critic-side tail spill past
 	// the iteration boundary — the slack cross-iteration overlap exploits.

@@ -128,9 +128,18 @@ func (pr *Problem) EmptyPlan() *core.Plan {
 }
 
 // SearchProblem bundles the problem for the search package's Solver
-// interface.
+// interface, under the historical serialized cost semantics.
 func (pr *Problem) SearchProblem() search.Problem {
-	return search.Problem{Est: pr.Est, Plan: pr.EmptyPlan()}
+	return pr.SearchProblemFor(false)
+}
+
+// SearchProblemFor bundles the problem with an explicit cost semantics:
+// overlap=true makes solvers score candidates with the overlapped-engine
+// estimator (estimator.Estimator.OverlapComm) — the schedule the runtime
+// executes with communication streams enabled — instead of the serialized
+// one.
+func (pr *Problem) SearchProblemFor(overlap bool) search.Problem {
+	return search.Problem{Est: pr.Est, Plan: pr.EmptyPlan(), Overlap: overlap}
 }
 
 // WarmStarts builds the baseline placements (symmetric heuristic and the
@@ -151,10 +160,16 @@ func (pr *Problem) WarmStarts() []*core.Plan {
 // SolveWith runs the named solver from the registry over this problem,
 // warm-started with the baseline placements.
 func (pr *Problem) SolveWith(solver string, opt search.Options) (*search.Result, error) {
+	return pr.SolveFor(false, solver, opt)
+}
+
+// SolveFor is SolveWith under an explicit cost semantics (see
+// SearchProblemFor).
+func (pr *Problem) SolveFor(overlap bool, solver string, opt search.Options) (*search.Result, error) {
 	if opt.SeedCandidates == nil {
 		opt.SeedCandidates = pr.WarmStarts()
 	}
-	return search.Solve(context.Background(), solver, pr.SearchProblem(), opt)
+	return search.Solve(context.Background(), solver, pr.SearchProblemFor(overlap), opt)
 }
 
 // SearchPlan runs the sequential MCMC planner with a fixed step budget and
@@ -162,6 +177,27 @@ func (pr *Problem) SolveWith(solver string, opt search.Options) (*search.Result,
 // registry.
 func (pr *Problem) SearchPlan(steps int, seed int64) (*search.Result, error) {
 	return pr.SolveWith("mcmc", search.Options{MaxSteps: steps, Seed: seed})
+}
+
+// SearchPlanFor is SearchPlan with the cost semantics chosen by the caller:
+// overlap=true searches for the plan that minimizes the overlapped
+// runtime's makespan.
+func (pr *Problem) SearchPlanFor(overlap bool, steps int, seed int64) (*search.Result, error) {
+	return pr.SolveFor(overlap, "mcmc", search.Options{MaxSteps: steps, Seed: seed})
+}
+
+// SearchPlanOverlapWarm is the canonical overlap-aware solve of the
+// ±overlap-search comparisons (Table 6, the ablation, the CI benchmark):
+// MCMC under the overlapped cost semantics, warm-started from the
+// serialized winner on top of the shared baseline seeds — which guarantees
+// the result's overlapped-cost estimate never exceeds the serialized
+// plan's. Keeping the seeding policy in one place keeps that invariant
+// identical across every artifact that pins it.
+func (pr *Problem) SearchPlanOverlapWarm(steps int, seed int64, serialized *core.Plan) (*search.Result, error) {
+	return pr.SolveFor(true, "mcmc", search.Options{
+		MaxSteps: steps, Seed: seed,
+		SeedCandidates: append(pr.WarmStarts(), serialized),
+	})
 }
 
 // HeuristicPlan builds the REAL-Heuristic baseline plan.

@@ -12,7 +12,10 @@ import (
 // concurrent search chains:
 //
 //   - plan level: the full estimator.Result keyed by the plan's canonical
-//     Fingerprint, so a plan revisited by any chain is never re-simulated;
+//     Fingerprint plus the estimator's schedule semantics (OverlapComm), so
+//     a plan revisited by any chain is never re-simulated, and serialized
+//     and overlap-aware solves of one problem can share a cache without
+//     poisoning each other's makespans;
 //   - node level: the duration of each augmented-graph node keyed by its
 //     inputs — (call, mesh, strategy) for call nodes, (role/bytes, src, dst)
 //     for transfer-style nodes — so even a brand-new plan only pays for the
@@ -131,7 +134,13 @@ func (c *CostCache) nodeDuration(e *estimator.Estimator, p *core.Plan, n *core.A
 // evaluation is deterministic, so either result is identical and the last
 // write wins. Errors (e.g. unassigned calls) are not cached.
 func (c *CostCache) Evaluate(e *estimator.Estimator, p *core.Plan) (*estimator.Result, error) {
+	// Node durations are schedule-independent, but the simulated makespan is
+	// not: the overlapped engine gives comm nodes their own lane. Key the
+	// plan-level entry by the semantics so the two never alias.
 	fp := p.Fingerprint()
+	if e.OverlapComm {
+		fp = "overlap|" + fp
+	}
 	c.mu.RLock()
 	r, ok := c.plans[fp]
 	c.mu.RUnlock()

@@ -58,11 +58,12 @@ func (greedySolver) Solve(ctx context.Context, prob Problem, opt Options) (Solut
 	if err := ctx.Err(); err != nil {
 		return Solution{}, Stats{}, fmt.Errorf("search: greedy solve cancelled: %w", err)
 	}
+	e := prob.estimator()
 	sets, spaceLog10, err := candidateSets(prob.Plan, opt.Prune)
 	if err != nil {
 		return Solution{}, Stats{}, err
 	}
-	plan, err := greedyFromSets(prob.Est, prob.Plan, sets)
+	plan, err := greedyFromSets(e, prob.Plan, sets)
 	if err != nil {
 		return Solution{}, Stats{}, err
 	}
@@ -71,7 +72,7 @@ func (greedySolver) Solve(ctx context.Context, prob Problem, opt Options) (Solut
 		cache = NewCostCache()
 	}
 	hits0, misses0 := cache.Hits(), cache.Misses()
-	res, err := cache.Evaluate(prob.Est, plan)
+	res, err := cache.Evaluate(e, plan)
 	if err != nil {
 		return Solution{}, Stats{}, err
 	}

@@ -41,7 +41,6 @@ type chainState struct {
 	adaptiveBeta bool
 
 	step      int // proposals attempted (including failed evaluations)
-	evalStep  int // last step whose proposal evaluated successfully
 	accepted  int
 	trace     []ProgressPoint
 	progress  func(ProgressPoint)
@@ -91,7 +90,6 @@ func (c *chainState) run(ctx context.Context, ev func(*core.Plan) (*estimator.Re
 		if err != nil {
 			continue
 		}
-		c.evalStep = step
 		accept := nextRes.Cost <= c.curCost ||
 			c.rng.Float64() < math.Exp(-c.beta*(nextRes.Cost-c.curCost))
 		if accept {
@@ -185,7 +183,7 @@ func (parallelMCMCSolver) Solve(ctx context.Context, prob Problem, opt Options) 
 func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solution, Stats, error) {
 	opt = opt.withDefaults()
 	start := time.Now()
-	e, p := prob.Est, prob.Plan
+	e, p := prob.estimator(), prob.Plan
 
 	if err := ctx.Err(); err != nil {
 		return Solution{}, Stats{}, fmt.Errorf("search: mcmc solve cancelled before candidate enumeration: %w", err)
@@ -274,7 +272,7 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 		CacheMisses: cache.Misses() - misses0,
 	}
 	for _, c := range cs {
-		st.Steps += c.evalStep
+		st.Steps += c.step
 		st.Accepted += c.accepted
 		st.Chains = append(st.Chains, ChainStats{
 			Chain: c.idx, Seed: c.seed, Proposed: c.step,
@@ -315,40 +313,77 @@ func runExchanging(ctx context.Context, cs []*chainState,
 		if live == 0 {
 			return
 		}
-		// Exchange: the globally best plan (lowest cost, lowest chain index
-		// on ties) replaces the current state of any chain doing worse.
-		g := cs[0]
-		for _, c := range cs[1:] {
-			if c.bestRes.Cost < g.bestRes.Cost {
-				g = c
-			}
+		exchangeBest(cs)
+	}
+}
+
+// exchangeBest is the barrier body: the globally best plan (lowest cost,
+// lowest chain index on ties) replaces the current state of any chain doing
+// worse.
+func exchangeBest(cs []*chainState) {
+	g := cs[0]
+	for _, c := range cs[1:] {
+		if c.bestRes.Cost < g.bestRes.Cost {
+			g = c
 		}
-		for _, c := range cs {
-			if c.done || c == g {
-				continue
-			}
-			if g.bestRes.Cost < c.curCost {
-				c.cur = g.best.Clone()
-				c.curCost = g.bestRes.Cost
+	}
+	for _, c := range cs {
+		if c.done || c == g {
+			continue
+		}
+		if g.bestRes.Cost < c.curCost {
+			c.cur = g.best.Clone()
+			c.curCost = g.bestRes.Cost
+			// The adopted plan is the best this chain now knows: fold it
+			// into the chain's best and rescale an adaptive temperature to
+			// the new cost scale. Without the rescale a chain seeded at an
+			// OOM-penalized cost keeps β ≈ 10/hugeCost ≈ 0 after adopting a
+			// cheap plan and accepts nearly every uphill proposal for the
+			// rest of the solve.
+			if g.bestRes.Cost < c.bestRes.Cost {
+				c.best, c.bestRes = g.best.Clone(), g.bestRes
+				if c.adaptiveBeta {
+					c.beta = 10 / math.Max(c.bestRes.Cost, 1e-9)
+				}
 			}
 		}
 	}
 }
 
 // mergeTraces folds per-chain improvement points into one monotone
-// global-best curve ordered by elapsed time.
+// global-best curve ordered by elapsed time. Points with equal elapsed
+// times are tie-broken by (Step, BestCost, chain index) — a total order —
+// so the merged curve is stable regardless of goroutine scheduling.
 func mergeTraces(cs []*chainState, initial ProgressPoint, finalCost float64, elapsed time.Duration) []ProgressPoint {
-	var all []ProgressPoint
-	for _, c := range cs {
-		all = append(all, c.trace...)
+	type chainPoint struct {
+		pt    ProgressPoint
+		chain int
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Elapsed < all[j].Elapsed })
+	var all []chainPoint
+	for _, c := range cs {
+		for _, pt := range c.trace {
+			all = append(all, chainPoint{pt: pt, chain: c.idx})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.pt.Elapsed != b.pt.Elapsed {
+			return a.pt.Elapsed < b.pt.Elapsed
+		}
+		if a.pt.Step != b.pt.Step {
+			return a.pt.Step < b.pt.Step
+		}
+		if a.pt.BestCost != b.pt.BestCost {
+			return a.pt.BestCost < b.pt.BestCost
+		}
+		return a.chain < b.chain
+	})
 	out := []ProgressPoint{initial}
 	best := initial.BestCost
-	for _, pt := range all {
-		if pt.BestCost < best {
-			best = pt.BestCost
-			out = append(out, pt)
+	for _, cp := range all {
+		if cp.pt.BestCost < best {
+			best = cp.pt.BestCost
+			out = append(out, cp.pt)
 		}
 	}
 	if best > finalCost || len(out) == 1 {

@@ -28,6 +28,27 @@ import (
 type Problem struct {
 	Est  *estimator.Estimator
 	Plan *core.Plan
+	// Overlap makes solvers score every candidate plan with the
+	// overlapped-engine cost semantics (estimator.Estimator.OverlapComm):
+	// Algorithm 1 then simulates a second per-device communication lane, the
+	// schedule the runtime actually executes under realhf.DefaultRunOptions.
+	// The default (false) keeps the historical fully-serialized objective,
+	// so existing solves and golden plans are unchanged. The flag composes
+	// with Est: an estimator that already has OverlapComm set keeps it.
+	Overlap bool
+}
+
+// estimator resolves the cost model solvers must score candidates with:
+// prob.Est as-is, or a copy with OverlapComm enabled when prob.Overlap asks
+// for the overlapped objective. The copy shares the immutable cost tables,
+// so it is as cheap and concurrency-safe as the original.
+func (prob Problem) estimator() *estimator.Estimator {
+	if !prob.Overlap || prob.Est == nil || prob.Est.OverlapComm {
+		return prob.Est
+	}
+	e := *prob.Est
+	e.OverlapComm = true
+	return &e
 }
 
 // Solution is a solver's chosen plan with its estimate.
@@ -51,7 +72,10 @@ type ChainStats struct {
 // convergence trace, the pruned-space size, cache effectiveness, and
 // per-chain breakdowns for multi-chain solvers.
 type Stats struct {
-	// Steps counts successfully evaluated proposals (summed over chains).
+	// Steps counts solver steps. For the MCMC solvers it is the number of
+	// proposals attempted, summed over chains — including proposals whose
+	// evaluation failed — and always equals the sum of ChainStats.Proposed.
+	// For the exhaustive solver it is the number of plans evaluated.
 	Steps int
 	// Accepted counts accepted Metropolis moves (summed over chains).
 	Accepted int
@@ -158,7 +182,9 @@ type Options struct {
 	ExchangeEvery int
 	// Cache optionally shares a cost cache across solver invocations (e.g.
 	// re-planning the same problem with different solvers). When nil each
-	// solve allocates its own.
+	// solve allocates its own. Plan-level entries are keyed by the cost
+	// semantics in use, so one cache may safely serve both serialized and
+	// overlap-aware (Problem.Overlap) solves of the same problem.
 	Cache *CostCache
 }
 

@@ -183,6 +183,9 @@ func TestParallelStatsConsistency(t *testing.T) {
 	if best != sol.Cost {
 		t.Errorf("solution cost %v != min chain best %v", sol.Cost, best)
 	}
+	if st.Steps != steps {
+		t.Errorf("Stats.Steps %d != sum of ChainStats.Proposed %d", st.Steps, steps)
+	}
 	if st.Accepted != accepted {
 		t.Errorf("Stats.Accepted %d != sum over chains %d", st.Accepted, accepted)
 	}

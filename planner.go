@@ -110,12 +110,13 @@ func DefaultPlanner() *Planner {
 type AutoOption func(*autoOptions)
 
 type autoOptions struct {
-	progress   func(search.ProgressPoint)
-	warmStarts []*core.Plan
-	solver     string
-	chains     int
-	hasChains  bool
-	runOpts    *RunOptions
+	progress     func(search.ProgressPoint)
+	warmStarts   []*core.Plan
+	solver       string
+	chains       int
+	hasChains    bool
+	overlapAware bool
+	runOpts      *RunOptions
 }
 
 // WithProgress streams the search's convergence (periodic samples and every
@@ -145,6 +146,15 @@ func WithSolver(name string) AutoOption {
 // this request (the number of concurrent MCMC chains).
 func WithSearchParallelism(chains int) AutoOption {
 	return func(o *autoOptions) { o.chains, o.hasChains = chains, true }
+}
+
+// WithOverlapAwareSearch makes this request search under the
+// overlapped-engine cost semantics — the per-request mirror of
+// ExperimentConfig.PlanForOverlap. The solver then minimizes the makespan
+// the overlapped runtime (realhf.DefaultRunOptions) will actually achieve,
+// instead of the serialized schedule's.
+func WithOverlapAwareSearch() AutoOption {
+	return func(o *autoOptions) { o.overlapAware = true }
 }
 
 // WithRunOptions binds run options to the returned Experiment: its Run()
@@ -187,6 +197,9 @@ func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOp
 	if o.hasChains {
 		cfg.SearchParallelism = o.chains
 	}
+	if o.overlapAware {
+		cfg.PlanForOverlap = true
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -220,7 +233,7 @@ func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOp
 	}
 	seeds = append(seeds, o.warmStarts...)
 	sol, stats, err := solver.Solve(ctx,
-		search.Problem{Est: ps.est, Plan: plan},
+		search.Problem{Est: ps.est, Plan: plan, Overlap: cfg.PlanForOverlap},
 		search.Options{
 			MaxSteps:       cfg.SearchSteps,
 			TimeLimit:      cfg.SearchTime,
@@ -251,13 +264,16 @@ func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOp
 // pre-warms the cost cache a later Plan call for the same problem draws on.
 // No search runs, so the only applicable option is WithRunOptions; passing
 // a search-shaping option (WithProgress, WithWarmStart, WithSolver,
-// WithSearchParallelism) is an error rather than a silent no-op.
+// WithSearchParallelism, WithOverlapAwareSearch) is an error rather than a
+// silent no-op. (To estimate the heuristic plan under the overlapped
+// semantics, set cfg.PlanForOverlap — that is a config property, not a
+// search option.)
 func (p *Planner) Heuristic(cfg ExperimentConfig, opts ...AutoOption) (*Experiment, error) {
 	var o autoOptions
 	for _, fn := range opts {
 		fn(&o)
 	}
-	if o.progress != nil || o.warmStarts != nil || o.solver != "" || o.hasChains {
+	if o.progress != nil || o.warmStarts != nil || o.solver != "" || o.hasChains || o.overlapAware {
 		return nil, fmt.Errorf("realhf: Heuristic runs no search and accepts only WithRunOptions")
 	}
 	cfg = p.merge(cfg).withDefaults()
@@ -416,7 +432,13 @@ func (p *Planner) problemFor(cfg ExperimentConfig) (*problemState, hardware.Clus
 	for role, ms := range models {
 		costers[role] = p.costerLocked(hw, ms.Cfg)
 	}
-	ps := &problemState{est: estimator.New(hw, costers), cache: search.NewCostCache()}
+	est := estimator.New(hw, costers)
+	// The problem's cost semantics follow the config: with PlanForOverlap
+	// set, every estimate this problem produces (search, Heuristic,
+	// LoadExperiment) simulates the overlapped engine. problemKey encodes
+	// the flag, so the serialized twin keeps its own estimator and cache.
+	est.OverlapComm = cfg.PlanForOverlap
+	ps := &problemState{est: est, cache: search.NewCostCache()}
 	p.problems.add(key, ps)
 	return ps, hw, g, models, nil
 }
@@ -442,15 +464,34 @@ func appendToken(b *strings.Builder, s string) {
 }
 
 // problemKey canonically encodes everything that defines the problem —
-// cluster shape, workload and the full RPC list — but none of the search
-// knobs. Equal keys mean one graph, one estimator, one cost cache.
-// withDefaults must have been applied.
+// cluster shape, workload, cost semantics and the full RPC list — but none
+// of the search knobs. Equal keys mean one graph, one estimator, one cost
+// cache. PlanForOverlap is part of the key because it selects the
+// estimator's schedule semantics: serialized and overlap-aware solves of
+// one workload must never share a cost cache, or each would poison the
+// other's plan-level makespans. withDefaults must have been applied.
 func (c ExperimentConfig) problemKey() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cluster=%d.%d;work=%d.%d.%d.%d.%d;rpcs=",
-		c.Nodes, c.GPUsPerNode, c.BatchSize, c.PromptLen, c.GenLen, c.MiniBatches, c.Iterations)
+	fmt.Fprintf(&b, "cluster=%d.%d;work=%d.%d.%d.%d.%d;overlap=%t;rpcs=",
+		c.Nodes, c.GPUsPerNode, c.BatchSize, c.PromptLen, c.GenLen, c.MiniBatches, c.Iterations, c.PlanForOverlap)
 	for _, r := range c.RPCs {
-		fmt.Fprintf(&b, "[%d.%d.%d;", int(r.InterfaceType), r.BatchScale, r.MiniBatches)
+		// Canonicalize per-call fields the graph builder treats as
+		// equivalent, so e.g. BatchScale 0 and 1 (both "unscaled"), a
+		// MiniBatches value on a non-train call (ignored), or an explicit
+		// train MiniBatches equal to the experiment default never split the
+		// caches into duplicate entries for one workload.
+		scale := r.BatchScale
+		if scale < 1 {
+			scale = 1
+		}
+		mini := 0
+		if r.InterfaceType == TrainStep {
+			mini = c.MiniBatches
+			if r.MiniBatches > 0 {
+				mini = r.MiniBatches
+			}
+		}
+		fmt.Fprintf(&b, "[%d.%d.%d;", int(r.InterfaceType), scale, mini)
 		appendToken(&b, r.Name)
 		appendToken(&b, r.ModelName)
 		appendToken(&b, r.ModelType)
@@ -469,7 +510,9 @@ func (c ExperimentConfig) problemKey() string {
 
 // fingerprint extends problemKey with the search knobs: two configs with
 // equal fingerprints request the same deterministic solve, which is what
-// the plan cache keys on. withDefaults must have been applied.
+// the plan cache keys on. PlanForOverlap reaches the fingerprint through
+// problemKey, so a serialized and an overlap-aware request never alias in
+// the plan cache either. withDefaults must have been applied.
 func (c ExperimentConfig) fingerprint() string {
 	return c.problemKey() + fmt.Sprintf(";solver=%s;steps=%d;time=%d;seed=%d;chains=%d",
 		c.Solver, c.SearchSteps, int64(c.SearchTime), c.Seed, c.SearchParallelism)

@@ -572,6 +572,93 @@ func TestPlannerTimeBoundedBypassesCache(t *testing.T) {
 	if a.Cached || b.Cached {
 		t.Error("time-bounded searches must not be replayed from the plan cache")
 	}
+	// The bypass also covers the multi-chain engine: every time-bounded
+	// parallel request runs a fresh solve (its exchange barriers terminate
+	// on the clock, so results are nondeterministic and must not be
+	// replayed).
+	for i := 0; i < 2; i++ {
+		exp, err := p.Plan(context.Background(), cfg, WithSearchParallelism(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exp.Cached {
+			t.Error("time-bounded parallel-mcmc request hit the plan cache")
+		}
+		if got := len(exp.SearchStats.Chains); got != 3 {
+			t.Errorf("want 3 chains of stats, got %d", got)
+		}
+	}
+	st := p.Stats()
+	if st.PlanCacheHits != 0 || st.PlanCacheMisses != 4 {
+		t.Errorf("time-bounded requests must all count as misses: hits %d misses %d",
+			st.PlanCacheHits, st.PlanCacheMisses)
+	}
+}
+
+// TestPlanForOverlapIsolatesCaches: a serialized and an overlap-aware
+// request for the same workload must not share the per-problem cost cache
+// (their estimators disagree about every makespan) nor the plan cache, and
+// WithOverlapAwareSearch must be equivalent to setting the config knob.
+func TestPlanForOverlapIsolatesCaches(t *testing.T) {
+	p := NewPlanner(ClusterConfig{})
+	cfg := plannerConfig(3, 200)
+	serial, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovCfg := cfg
+	ovCfg.PlanForOverlap = true
+	over, err := p.Plan(context.Background(), ovCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Cached {
+		t.Error("overlap-aware request must not be answered from the serialized plan cache")
+	}
+	if st := p.Stats(); st.Problems != 2 {
+		t.Errorf("serialized and overlap-aware solves must own separate cost caches, got %d problems", st.Problems)
+	}
+	// Same request expressed through the option: identical fingerprint,
+	// answered from the overlap-aware cache entry.
+	viaOpt, err := p.Plan(context.Background(), cfg, WithOverlapAwareSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viaOpt.Cached {
+		t.Error("WithOverlapAwareSearch must alias ExperimentConfig.PlanForOverlap in the plan cache")
+	}
+	if viaOpt.Plan.Fingerprint() != over.Plan.Fingerprint() {
+		t.Error("option and config knob chose different plans")
+	}
+	if serial.Config.PlanForOverlap || !over.Config.PlanForOverlap {
+		t.Error("returned Experiment.Config must echo the cost semantics used")
+	}
+	if _, err := p.Heuristic(cfg, WithOverlapAwareSearch()); err == nil {
+		t.Error("Heuristic must reject WithOverlapAwareSearch (no search runs)")
+	}
+	// Heuristic honors the config knob: same symmetric plan, estimated
+	// under the overlapped schedule — never above its serialized estimate.
+	heurSerial, err := p.Heuristic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heurOver, err := p.Heuristic(ovCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heurOver.Plan.Fingerprint() != heurSerial.Plan.Fingerprint() {
+		t.Error("PlanForOverlap must not change the heuristic plan, only its estimate")
+	}
+	if heurOver.Estimate.TimeCost > heurSerial.Estimate.TimeCost {
+		t.Errorf("overlapped heuristic estimate %.4f exceeds serialized %.4f of the same plan",
+			heurOver.Estimate.TimeCost, heurSerial.Estimate.TimeCost)
+	}
+	// The overlap-aware solve is warm-started with the heuristic seed, so
+	// its cost can never exceed the heuristic's under the same semantics.
+	if over.Estimate.Cost > heurOver.Estimate.Cost {
+		t.Errorf("overlap-aware solve (%.4f) worse than its heuristic seed under overlapped costs (%.4f)",
+			over.Estimate.Cost, heurOver.Estimate.Cost)
+	}
 }
 
 func TestPlannerStatsCostCacheReuse(t *testing.T) {

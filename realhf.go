@@ -137,6 +137,15 @@ type ExperimentConfig struct {
 	// compatible); with Solver == "parallel-mcmc" and SearchParallelism
 	// left at 0 the solver uses GOMAXPROCS chains.
 	SearchParallelism int
+	// PlanForOverlap makes the search score candidate plans under the
+	// overlapped-engine cost semantics (estimator.Estimator.OverlapComm) —
+	// the schedule the runtime executes under DefaultRunOptions — instead of
+	// the historical fully-serialized objective. The returned Estimate then
+	// predicts the overlapped iteration time. Default off: existing configs
+	// keep their plans and estimates byte for byte. The flag is part of the
+	// planner's problem and plan-cache keys, so serialized and overlap-aware
+	// solves of one workload never share cost caches or cached plans.
+	PlanForOverlap bool
 }
 
 func (c ExperimentConfig) withDefaults() ExperimentConfig {
