@@ -352,6 +352,47 @@ func BenchmarkOverlapAwareSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainerReplan pins the training-campaign ablation behind the
+// Trainer session API: the same 4-iteration generation-length ramp
+// (1024 -> 128, the paper's §8 drift scenario) executed by a frozen-plan
+// baseline and by the replanning Trainer, both over persistent worker
+// pools. Every metric is a deterministic virtual quantity (step-bounded
+// seed-fixed searches, virtual runtime), gated exactly by the CI
+// bench-regression check; replan-vs-frozen-x must stay below 1 — the
+// replanning campaign wins even after paying every charged plan-switch
+// reallocation (replan-switch-s).
+func BenchmarkTrainerReplan(b *testing.B) {
+	ctx := context.Background()
+	const iters = 4
+	for i := 0; i < b.N; i++ {
+		planner := NewPlanner(ClusterConfig{})
+		frozenTr, err := planner.Train(ctx, trainerConfig(),
+			WithGenLenSchedule(rampSchedule), WithFrozenPlan())
+		if err != nil {
+			b.Fatal(err)
+		}
+		frozen, err := frozenTr.Campaign(ctx, iters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frozenTr.Close()
+		replanTr, err := planner.Train(ctx, trainerConfig(), WithGenLenSchedule(rampSchedule))
+		if err != nil {
+			b.Fatal(err)
+		}
+		replan, err := replanTr.Campaign(ctx, iters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		replanTr.Close()
+		b.ReportMetric(frozen.TotalMakespanV, "frozen-campaign-s")
+		b.ReportMetric(replan.TotalMakespanV, "replan-campaign-s")
+		b.ReportMetric(replan.TotalMakespanV/frozen.TotalMakespanV, "replan-vs-frozen-x")
+		b.ReportMetric(replan.SwitchCostV, "replan-switch-s")
+		b.ReportMetric(float64(replan.Replans), "replans")
+	}
+}
+
 // BenchmarkPlannerCachedPlan measures the steady-state cost of a Planner
 // session answering a repeated request from the plan cache — no MCMC, no
 // estimator work, one keyed lookup plus a private plan clone. The

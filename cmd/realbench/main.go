@@ -24,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, plans (tables 2-6), fig2, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, ablation, overlap, overlap-search, limitation, all")
+		"experiment: table1, plans (tables 2-6), fig2, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, ablation, overlap, overlap-search, limitation, drift, all")
 	quick := flag.Bool("quick", false, "reduced scale for fast runs")
 	steps := flag.Int("steps", 0, "override MCMC search steps")
 	flag.Parse()
@@ -209,6 +209,15 @@ func main() {
 
 	run("limitation", func() (string, error) {
 		_, out, err := experiments.LimitationStudy(2, searchSteps, []float64{0, 0.25, 0.5, 0.75}, 9)
+		return out, err
+	})
+
+	run("drift", func() (string, error) {
+		driftNodes := 2
+		if *quick {
+			driftNodes = 1
+		}
+		_, _, out, err := experiments.AblationGenLenDrift(driftNodes, searchSteps, 4, 1)
 		return out, err
 	})
 }

@@ -7,11 +7,19 @@
 // split-placement baseline systems of Fig. 7 still reach into the internal
 // baselines package, since they are not part of the public API.
 //
+// With -iters > 1 realrun drives a multi-iteration training campaign
+// through a long-lived realhf.Trainer session instead of a one-shot run:
+// persistent model workers, per-iteration reports, profile-feedback
+// replanning under a -genlen-ramp, and an elastic -resize-at mid-campaign
+// cluster change.
+//
 // Usage:
 //
 //	realrun -actor 70b -critic 7b -nodes 16 -system real
 //	realrun -actor 7b -critic 7b -nodes 2 -system openrlhf -cudagraph=false
 //	realrun -actor 7b -critic 7b -plan plan.json
+//	realrun -actor 7b -critic 7b -nodes 1 -iters 4 -genlen-ramp 1024:128
+//	realrun -actor 7b -critic 7b -nodes 1 -iters 6 -resize-at 3:2
 package main
 
 import (
@@ -20,6 +28,8 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strconv"
+	"strings"
 
 	"realhf"
 	"realhf/internal/baselines"
@@ -49,6 +59,13 @@ func main() {
 	tcp := flag.Bool("tcp", false, "drive model workers over TCP sockets instead of channels")
 	planFile := flag.String("plan", "", "load a plan saved by realsearch -save instead of planning")
 	chromeTrace := flag.String("chrometrace", "", "write the execution timeline as a Chrome trace JSON")
+	iters := flag.Int("iters", 1,
+		"iterations to train; > 1 runs a Trainer campaign with profile-feedback replanning (system=real)")
+	genLenRamp := flag.String("genlen-ramp", "",
+		"linear generation-length ramp start:end across the campaign (e.g. 1024:128; campaign mode)")
+	resizeAt := flag.String("resize-at", "",
+		"elastic resize iter:nodes — before iteration iter, replan onto nodes hosts (campaign mode)")
+	frozen := flag.Bool("frozen", false, "pin the iteration-0 plan for the whole campaign (the no-replanning baseline)")
 	flag.Parse()
 
 	cfg, err := realhf.PaperExperiment(*algo, "llama"+*actor, "llama"+*critic+"-critic", *nodes, *batch)
@@ -56,6 +73,22 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.SearchSteps, cfg.Seed = *steps, *seed
+
+	if *iters > 1 {
+		if *system != "real" || *planFile != "" {
+			log.Fatal("realrun: campaign mode (-iters > 1) requires -system real without -plan")
+		}
+		// Reject rather than silently ignore options the Trainer session
+		// does not plumb through: its pool is in-process, and per-iteration
+		// timelines are not exported as one trace.
+		if *tcp || *chromeTrace != "" {
+			log.Fatal("realrun: campaign mode does not support -tcp or -chrometrace")
+		}
+		runCampaign(cfg, *iters, *genLenRamp, *resizeAt, *frozen, realhf.RunOptions{
+			UseCUDAGraph: *cudaGraph, OverlapComm: *overlap,
+		})
+		return
+	}
 
 	planner := realhf.NewPlanner(realhf.ClusterConfig{})
 	var plan *core.Plan
@@ -175,5 +208,134 @@ func main() {
 		hidden := serial - overlapped
 		fmt.Printf("Overlap ablation: serialized %.1fs -> overlapped %.1fs (comm %.1fs, %.0f%% hidden)\n",
 			serial, overlapped, rep.CommTimeV, 100*hidden/rep.CommTimeV)
+	}
+}
+
+// parsePair parses "a:b" into two ints.
+func parsePair(s, what string) (int, int, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("realrun: %s must look like a:b, got %q", what, s)
+	}
+	a, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("realrun: bad %s %q: %v", what, s, err)
+	}
+	b, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("realrun: bad %s %q: %v", what, s, err)
+	}
+	return a, b, nil
+}
+
+// runCampaign drives a multi-iteration Trainer session: per-iteration
+// reports stream as they complete, an optional linear GenLen ramp exercises
+// the §8 drift scenario, and an optional -resize-at splits the campaign
+// around an elastic cluster change.
+func runCampaign(cfg realhf.ExperimentConfig, iters int, ramp, resize string, frozen bool, runOpts realhf.RunOptions) {
+	ctx := context.Background()
+	opts := []realhf.TrainOption{
+		realhf.WithTrainRunOptions(runOpts),
+		realhf.WithIterationProgress(func(r realhf.IterationReport) {
+			mark := " "
+			switch {
+			case r.Switched:
+				mark = "S" // replanned and switched plans
+			case r.Replanned:
+				mark = "r" // replanned, kept the incumbent
+			}
+			fmt.Printf("iter %2d %s gen=%-5d nodes=%d  %8.2fs (est %8.2fs, drift %4.1f%%)  switch %6.3fs  plan %.12s\n",
+				r.Iter, mark, r.GenLen, r.Nodes, r.MakespanV, r.EstMakespanV, 100*r.Drift,
+				r.ReallocSwitchCost, r.PlanFingerprint)
+		}),
+	}
+	if frozen {
+		opts = append(opts, realhf.WithFrozenPlan())
+	}
+	if ramp != "" {
+		start, end, err := parsePair(ramp, "-genlen-ramp")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if start <= 0 || end <= 0 {
+			log.Fatal("realrun: -genlen-ramp lengths must be positive")
+		}
+		opts = append(opts, realhf.WithGenLenSchedule(func(iter int) int {
+			if iters <= 1 {
+				return start
+			}
+			return start + (end-start)*iter/(iters-1)
+		}))
+	}
+	resizeIter, resizeNodes := -1, 0
+	if resize != "" {
+		var err error
+		resizeIter, resizeNodes, err = parsePair(resize, "-resize-at")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resizeIter <= 0 || resizeIter >= iters {
+			log.Fatalf("realrun: -resize-at iteration %d outside campaign (1..%d)", resizeIter, iters-1)
+		}
+	}
+
+	planner := realhf.NewPlanner(realhf.ClusterConfig{})
+	tr, err := planner.Train(ctx, cfg, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	mode := "replanning"
+	if frozen {
+		mode = "frozen-plan"
+	}
+	fmt.Printf("Training campaign (%s): %d iterations on %d nodes\n\n", mode, iters, cfg.Nodes)
+
+	// Only the makespan/iteration totals come from the chunked campaign
+	// reports; replan/switch/realloc counters are read from Stats at the
+	// end, which also covers the Resize between chunks.
+	var totalV float64
+	ranIters := 0
+	accumulate := func(rep *realhf.CampaignReport) {
+		ranIters += len(rep.Iterations)
+		totalV += rep.TotalMakespanV
+	}
+	if resizeIter > 0 {
+		rep, err := tr.Campaign(ctx, resizeIter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		accumulate(rep)
+		fmt.Printf("-- resizing campaign to %d nodes --\n", resizeNodes)
+		if err := tr.Resize(ctx, resizeNodes); err != nil {
+			log.Fatal(err)
+		}
+		rep, err = tr.Campaign(ctx, iters-resizeIter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		accumulate(rep)
+	} else {
+		rep, err := tr.Campaign(ctx, iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		accumulate(rep)
+	}
+
+	st := tr.Stats()
+	fmt.Printf("\nCampaign total: %.2fs over %d iterations (replans %d, switches %d, realloc charged %.3fs)\n",
+		totalV, ranIters, st.Replans, st.Switches, st.SwitchCostV)
+	if factors := st.CalibrationFactors; len(factors) > 0 {
+		names := make([]string, 0, len(factors))
+		for name := range factors {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("Calibration (observed/predicted):")
+		for _, name := range names {
+			fmt.Printf("  %-16s %.3f\n", name, factors[name])
+		}
 	}
 }

@@ -1,0 +1,121 @@
+// Example campaign: a multi-iteration RLHF training campaign through a
+// long-lived realhf.Trainer session — the execution-side twin of the
+// Planner session.
+//
+// The workload follows the paper's §8 limitation scenario: generation
+// lengths drift over training (here a 1024 → 128 ramp as the policy
+// sharpens). A frozen plan — chosen once at iteration 0, the only thing the
+// one-shot API could express — grows stale; the Trainer replans through the
+// Planner's caches whenever the schedule moves the workload (or observed
+// per-RPC durations drift from the estimates), pays the §5-priced
+// parameter-reallocation cost for every adopted switch, and still finishes
+// the campaign sooner. The session then resizes elastically to twice the
+// cluster and keeps training.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"realhf"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	cfg := realhf.ExperimentConfig{
+		Nodes:     1,
+		BatchSize: 128,
+		PromptLen: 256,
+		RPCs:      realhf.PPORPCs("llama7b", "llama7b-critic"),
+		// Step-bounded, seed-fixed searches keep the whole campaign
+		// deterministic (and every replan plan-cacheable).
+		SearchSteps: 600,
+		Seed:        1,
+	}
+	ramp := func(iter int) int {
+		g := 1024 >> iter
+		if g < 128 {
+			g = 128
+		}
+		return g
+	}
+	const iters = 4
+
+	planner := realhf.NewPlanner(realhf.ClusterConfig{})
+
+	// Baseline: the iteration-0 plan pinned for the whole campaign.
+	frozenTr, err := planner.Train(ctx, cfg,
+		realhf.WithGenLenSchedule(ramp), realhf.WithFrozenPlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	frozen, err := frozenTr.Campaign(ctx, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frozenTr.Close()
+
+	// The replanning session, streaming per-iteration reports.
+	fmt.Println("Replanning campaign (GenLen 1024 -> 128 over 4 iterations):")
+	tr, err := planner.Train(ctx, cfg,
+		realhf.WithGenLenSchedule(ramp),
+		realhf.WithIterationProgress(func(r realhf.IterationReport) {
+			note := "kept plan"
+			switch {
+			case r.Switched:
+				note = fmt.Sprintf("switched plans (+%.3fs realloc)", r.ReallocSwitchCost)
+			case r.Replanned:
+				note = "replanned, kept incumbent"
+			}
+			fmt.Printf("  iter %d  gen %4d  %6.2fs  %s\n", r.Iter, r.GenLen, r.MakespanV, note)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	replan, err := tr.Campaign(ctx, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nFrozen plan total:  %6.2fs\n", frozen.TotalMakespanV)
+	fmt.Printf("Replanning total:   %6.2fs (incl. %.3fs switch realloc; %d replans, %d switches)\n",
+		replan.TotalMakespanV, replan.SwitchCostV, replan.Replans, replan.Switches)
+	fmt.Printf("Campaign speedup:   %+.1f%%\n\n",
+		100*(frozen.TotalMakespanV-replan.TotalMakespanV)/frozen.TotalMakespanV)
+
+	// Elastic resize: double the cluster mid-campaign. The session replans
+	// onto the new mesh (reusing everything it has profiled so far), charges
+	// the reallocation into the new layout, and swaps its worker fleet.
+	if err := tr.Resize(ctx, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Resized to 2 nodes; continuing the campaign:")
+	for i := 0; i < 2; i++ {
+		rep, err := tr.Step(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  iter %d  gen %4d  %6.2fs on %d nodes  (switch realloc %.3fs)\n",
+			rep.Iter, rep.GenLen, rep.MakespanV, rep.Nodes, rep.ReallocSwitchCost)
+	}
+
+	st := tr.Stats()
+	fmt.Printf("\nSession: %d iterations, %d replans, %d switches, %.3fs realloc charged, plan %.16s...\n",
+		st.Iterations, st.Replans, st.Switches, st.SwitchCostV, st.PlanFingerprint)
+	if len(st.CalibrationFactors) > 0 {
+		names := make([]string, 0, len(st.CalibrationFactors))
+		for name := range st.CalibrationFactors {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("Calibration factors (observed/predicted):")
+		for _, name := range names {
+			fmt.Printf("  %-16s %.3f\n", name, st.CalibrationFactors[name])
+		}
+	}
+}

@@ -39,6 +39,13 @@ type Estimator struct {
 	// historical fully-serialized schedule, so search results and golden
 	// plans are unaffected unless a caller opts in.
 	OverlapComm bool
+	// Calib layers profile feedback over the pure cost model: NodeDuration
+	// multiplies each call node's analytic duration by the calibration's
+	// per-call factor. nil (the default) is the identity — existing
+	// estimates, searches and golden plans are byte-identical. Caches keyed
+	// on estimates must fold CalibrationKey into their keys (search.CostCache
+	// does), so calibrated problems never poison uncalibrated ones.
+	Calib *Calibration
 }
 
 // New builds an estimator over the given per-role cost sources.
@@ -93,7 +100,7 @@ func (e *Estimator) NodeDuration(p *core.Plan, n *core.AugNode) (float64, error)
 		if err != nil {
 			return 0, err
 		}
-		return b.Total(), nil
+		return b.Total() * e.Calib.Factor(n.Call.Name), nil
 	case core.KindParamRealloc:
 		ms := p.Models[n.Role]
 		sched := realloc.PlanParams(ms.Cfg.NumLayers, ms.Cfg.LayerParamBytes(),

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblationGenLenDrift: the replanning campaign must beat the frozen
+// plan on total makespan with the switch charges included, and the report
+// must carry one row per iteration plus the totals.
+func TestAblationGenLenDrift(t *testing.T) {
+	rows, sum, out, err := AblationGenLenDrift(1, 600, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	if rows[0].GenLen != 1024 || rows[3].GenLen != 128 {
+		t.Fatalf("ramp endpoints wrong: %d..%d", rows[0].GenLen, rows[3].GenLen)
+	}
+	if rows[0].FrozenV != rows[0].ReplanV || rows[0].Switched {
+		t.Fatalf("iteration 0 must execute the shared initial plan: %+v", rows[0])
+	}
+	if sum.Switches == 0 || sum.SwitchCostV <= 0 {
+		t.Fatalf("the ramp must trigger adopted switches: %+v", sum)
+	}
+	if sum.ReplanTotalV >= sum.FrozenTotalV || sum.Gain <= 0 {
+		t.Fatalf("replanning (%.2fs incl. %.3fs switches) must beat frozen (%.2fs)",
+			sum.ReplanTotalV, sum.SwitchCostV, sum.FrozenTotalV)
+	}
+	var total float64
+	for _, r := range rows {
+		total += r.ReplanV + r.SwitchCost
+	}
+	if total != sum.ReplanTotalV {
+		t.Fatalf("summary total %.4f != row sum %.4f", sum.ReplanTotalV, total)
+	}
+	if !strings.Contains(out, "GenLen drift") || !strings.Contains(out, "total") {
+		t.Fatalf("report missing sections:\n%s", out)
+	}
+}

@@ -238,6 +238,40 @@ func PlanData(totalBytes int64, src, dst core.Assignment, gpusPerNode int) Sched
 	return sched
 }
 
+// SwitchCost prices a whole-plan switch exactly as §5 prices parameter
+// reallocation: for every model whose home layout changes between the two
+// plans, the broadcast schedule moving its parameters from the old home to
+// the new one is built (PlanParams), per-GPU busy times are merged across
+// models (all reallocations proceed in parallel), and the busiest GPU
+// bounds the wall time. hw must span both plans' meshes — for an elastic
+// resize, the larger of the two clusters. Shared by the public Trainer's
+// replan charging and the experiments' drift ablation.
+func SwitchCost(old, next *core.Plan, hw hardware.Cluster) float64 {
+	busy := map[int]float64{}
+	for role, ms := range old.Models {
+		oldHome, ok := old.HomeOf(role)
+		if !ok {
+			continue
+		}
+		newHome, ok := next.HomeOf(role)
+		if !ok || oldHome.Equal(newHome) {
+			continue
+		}
+		sched := PlanParams(ms.Cfg.NumLayers, ms.Cfg.LayerParamBytes(),
+			oldHome, newHome, hw.GPUsPerNode)
+		for gpu, d := range sched.BusyPerGPU(hw) {
+			busy[gpu] += d
+		}
+	}
+	var max float64
+	for _, d := range busy {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 func minInt(a, b int) int {
 	if a < b {
 		return a

@@ -57,8 +57,13 @@ type Report struct {
 	// MakespanV is the virtual wall time of the whole (possibly
 	// multi-iteration) run.
 	MakespanV float64
-	// Iterations is the number of RLHF iterations the graph spanned.
+	// Iterations is the number of RLHF iterations the graph spanned (the
+	// configured count, whether or not the run finished them).
 	Iterations int
+	// CompletedIterations counts iterations whose every model function call
+	// finished. It equals Iterations for a run that completed; a cancelled
+	// run reports fewer, and IterTime divides by this count.
+	CompletedIterations int
 	// OverlapComm echoes the option the run executed under.
 	OverlapComm bool
 	// CallTimes maps call names to their iteration-0 virtual durations
@@ -79,12 +84,20 @@ type Report struct {
 	PeakBytes int64
 }
 
-// IterTime is the average virtual time per RLHF iteration.
+// IterTime is the average virtual time per fully completed RLHF iteration.
+// It divides by the iterations the run actually completed, clamped to the
+// configured count — a partial report from a cancelled run is not averaged
+// over work that never happened. When nothing completed (or on a hand-built
+// report without iteration counts) it degrades to the raw makespan.
 func (r *Report) IterTime() float64 {
-	if r.Iterations == 0 {
+	iters := r.Iterations
+	if r.CompletedIterations < iters {
+		iters = r.CompletedIterations
+	}
+	if iters <= 0 {
 		return r.MakespanV
 	}
-	return r.MakespanV / float64(r.Iterations)
+	return r.MakespanV / float64(iters)
 }
 
 // Master is the centralized controller of §6: it owns the augmented graph,
@@ -395,8 +408,23 @@ func (m *Master) Run() (*Report, error) {
 	// independent of reply arrival order: nodes are folded in ID order and
 	// the error list is sorted.
 	finish := func() {
+		// Iteration accounting distinguishes the configured span (every call
+		// node, done or not) from what actually completed: an iteration
+		// counts as completed only when all of its calls finished, so a
+		// cancelled run's IterTime is never averaged over phantom work.
 		iters := 0
+		callsPerIter := map[int]int{}
+		donePerIter := map[int]int{}
 		for _, n := range g.Nodes {
+			if n.Kind == core.KindCall {
+				if n.Call.Iter+1 > iters {
+					iters = n.Call.Iter + 1
+				}
+				callsPerIter[n.Call.Iter]++
+				if done[n.ID] {
+					donePerIter[n.Call.Iter]++
+				}
+			}
 			if !done[n.ID] {
 				continue
 			}
@@ -410,9 +438,6 @@ func (m *Master) Run() (*Report, error) {
 			}
 			switch n.Kind {
 			case core.KindCall:
-				if n.Call.Iter+1 > iters {
-					iters = n.Call.Iter + 1
-				}
 				if n.Call.Iter == 0 {
 					report.CallTimes[n.Call.Name] = w.dur
 					report.CallBreakdowns[n.Call.Name] = w.breakdown
@@ -422,6 +447,11 @@ func (m *Master) Run() (*Report, error) {
 			}
 		}
 		report.Iterations = iters
+		for it, total := range callsPerIter {
+			if donePerIter[it] == total {
+				report.CompletedIterations++
+			}
+		}
 		for _, w := range workers {
 			if w != nil && w.Peak() > report.PeakBytes {
 				report.PeakBytes = w.Peak()

@@ -1,0 +1,181 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"realhf/internal/core"
+)
+
+// WorkerPool owns a set of model workers and the transport that drives them,
+// both persisting across runs — the execution-side state a long-lived
+// training session reuses every iteration, where the one-shot Run path
+// rebuilds workers and transport per call. Between iterations the pool is
+// Reset: every stream is fenced and drained to quiescence, stream clocks and
+// memory ledgers return to zero, and each device's static footprint is
+// replaced (the next iteration may execute a different plan). Resize swaps
+// the fleet for a different device count mid-session (elastic cluster
+// changes).
+//
+// A pool serializes its own operations; run one iteration at a time.
+type WorkerPool struct {
+	mu           sync.Mutex
+	workers      []*ModelWorker
+	transport    Transport
+	memoryBytes  int64
+	ownTransport bool
+	closed       bool
+}
+
+// NewWorkerPool starts a pool of numGPUs workers with the given device
+// memory over the in-process channel transport.
+func NewWorkerPool(numGPUs int, memoryBytes int64) *WorkerPool {
+	workers := make([]*ModelWorker, numGPUs)
+	for i := range workers {
+		workers[i] = NewModelWorker(i, memoryBytes)
+	}
+	return &WorkerPool{
+		workers:      workers,
+		transport:    NewChanTransport(workers),
+		memoryBytes:  memoryBytes,
+		ownTransport: true,
+	}
+}
+
+// NewWorkerPoolWith adopts caller-owned workers and transport (e.g. a TCP
+// fleet served by ServeWorkersTCP). The caller keeps teardown responsibility
+// for the transport's far side; Close still closes the transport itself.
+func NewWorkerPoolWith(workers []*ModelWorker, tr Transport) *WorkerPool {
+	var mem int64
+	if len(workers) > 0 {
+		mem = workers[0].MemoryBytes
+	}
+	return &WorkerPool{workers: workers, transport: tr, memoryBytes: mem}
+}
+
+// Size is the pool's device count.
+func (wp *WorkerPool) Size() int {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	return len(wp.workers)
+}
+
+// Workers exposes the live fleet (for memory reporting and tests).
+func (wp *WorkerPool) Workers() []*ModelWorker {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	return wp.workers
+}
+
+// fenceID maps a (gpu, stream) pair to a reserved negative request ID, so
+// fence replies can never collide with the master's node IDs (>= 0).
+func fenceID(gpu int, s Stream) int { return -(1 + gpu*NumStreams + int(s)) }
+
+// Reset quiesces and reinitializes the fleet for the next iteration:
+//
+//  1. a fence is sent down every (worker, stream) queue and its reply
+//     awaited — per-stream FIFO order plus the reply channel's own FIFO
+//     guarantee that once all fences are back, every straggler reply from a
+//     previous (possibly cancelled) run has been received and discarded;
+//  2. each worker's stream clocks and peak-memory ledger are zeroed and its
+//     resting memory replaced by static[i].
+//
+// static must have one entry per worker (estimator.StaticPerGPU of the next
+// plan).
+func (wp *WorkerPool) Reset(static []int64) error {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	if wp.closed {
+		return fmt.Errorf("runtime: worker pool closed")
+	}
+	if len(static) != len(wp.workers) {
+		return fmt.Errorf("runtime: Reset with %d static entries for %d workers", len(static), len(wp.workers))
+	}
+	if err := wp.drainLocked(); err != nil {
+		return err
+	}
+	for i, w := range wp.workers {
+		w.Reset(static[i])
+	}
+	return nil
+}
+
+// drainLocked runs the fence protocol over the pool's transport.
+func (wp *WorkerPool) drainLocked() error {
+	want := make(map[int]bool, len(wp.workers)*NumStreams)
+	for gpu := range wp.workers {
+		for s := Stream(0); s < NumStreams; s++ {
+			id := fenceID(gpu, s)
+			want[id] = true
+			if err := wp.transport.Send(gpu, Request{ID: id, Kind: ReqFence, Stream: s}); err != nil {
+				return fmt.Errorf("runtime: fence gpu %d: %w", gpu, err)
+			}
+		}
+	}
+	for len(want) > 0 {
+		rep, ok := <-wp.transport.Replies()
+		if !ok {
+			return fmt.Errorf("runtime: transport closed with %d fences outstanding", len(want))
+		}
+		delete(want, rep.ID) // non-fence IDs are stragglers; discard
+	}
+	return nil
+}
+
+// Run executes one plan over the pool's persistent workers and transport.
+// The caller is responsible for Reset between iterations (and for setting
+// the static footprints the plan implies); Run itself never rebuilds or
+// reclocks the fleet, which is the point of the pool.
+func (wp *WorkerPool) Run(p *core.Plan, opts Options) (*Report, error) {
+	wp.mu.Lock()
+	if wp.closed {
+		wp.mu.Unlock()
+		return nil, fmt.Errorf("runtime: worker pool closed")
+	}
+	opts.Transport = wp.transport
+	opts.Workers = wp.workers
+	wp.mu.Unlock()
+	return Run(p, opts)
+}
+
+// Resize replaces the fleet with numGPUs workers of the given memory — the
+// elastic mid-session cluster change. Only pools that own their transport
+// (NewWorkerPool) can resize; adopted fleets have caller-owned lifecycles.
+func (wp *WorkerPool) Resize(numGPUs int, memoryBytes int64) error {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	if wp.closed {
+		return fmt.Errorf("runtime: worker pool closed")
+	}
+	if !wp.ownTransport {
+		return fmt.Errorf("runtime: cannot resize a pool over an adopted transport")
+	}
+	if numGPUs <= 0 {
+		return fmt.Errorf("runtime: resize to %d workers", numGPUs)
+	}
+	if memoryBytes <= 0 {
+		memoryBytes = wp.memoryBytes
+	}
+	if err := wp.transport.Close(); err != nil {
+		return err
+	}
+	workers := make([]*ModelWorker, numGPUs)
+	for i := range workers {
+		workers[i] = NewModelWorker(i, memoryBytes)
+	}
+	wp.workers = workers
+	wp.transport = NewChanTransport(workers)
+	wp.memoryBytes = memoryBytes
+	return nil
+}
+
+// Close tears the pool down. Idempotent.
+func (wp *WorkerPool) Close() error {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	if wp.closed {
+		return nil
+	}
+	wp.closed = true
+	return wp.transport.Close()
+}

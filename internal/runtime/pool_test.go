@@ -1,0 +1,302 @@
+package runtime
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"realhf/internal/estimator"
+	"realhf/internal/model"
+)
+
+// TestWorkerPoolReuseAcrossIterations: one pool executes several iterations
+// back to back with Reset between them; every iteration reproduces the
+// one-shot Run path byte for byte, proving reuse leaks no clock or memory
+// state across iterations.
+func TestWorkerPoolReuseAcrossIterations(t *testing.T) {
+	plan := reallocHeavyPlan(t, 1)
+	oneShot, err := RunOverlapped(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wp := NewWorkerPool(plan.Cluster.NumGPUs(), plan.Cluster.GPU.MemoryBytes)
+	defer wp.Close()
+	static := estimator.StaticPerGPU(plan)
+	for iter := 0; iter < 3; iter++ {
+		if err := wp.Reset(static); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		rep, err := wp.Run(plan, Options{UseCUDAGraph: true, OverlapComm: true})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if rep.MakespanV != oneShot.MakespanV {
+			t.Fatalf("iter %d: pooled makespan %v != one-shot %v", iter, rep.MakespanV, oneShot.MakespanV)
+		}
+		if rep.PeakBytes != oneShot.PeakBytes {
+			t.Fatalf("iter %d: pooled peak %d != one-shot %d", iter, rep.PeakBytes, oneShot.PeakBytes)
+		}
+	}
+	// Without Reset the worker clocks keep running and the second iteration
+	// must start late — reuse is only sound through the reset protocol.
+	if _, err := wp.Run(plan, Options{UseCUDAGraph: true, OverlapComm: true}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := wp.Run(plan, Options{UseCUDAGraph: true, OverlapComm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanV <= oneShot.MakespanV {
+		t.Fatalf("un-reset rerun makespan %v should exceed a fresh run's %v", rep.MakespanV, oneShot.MakespanV)
+	}
+}
+
+// TestWorkerPoolReuseOverTCP: the same reuse protocol over real sockets —
+// fences and resets flow through the gob transport, and the virtual timings
+// match the in-process transport exactly.
+func TestWorkerPoolReuseOverTCP(t *testing.T) {
+	plan := reallocHeavyPlan(t, 1)
+	oneShot, err := RunOverlapped(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := make([]*ModelWorker, plan.Cluster.NumGPUs())
+	for i := range workers {
+		workers[i] = NewModelWorker(i, plan.Cluster.GPU.MemoryBytes)
+	}
+	addr, stop, err := ServeWorkersTCP(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	tr, err := NewTCPTransport(addr, len(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := NewWorkerPoolWith(workers, tr)
+	defer wp.Close()
+
+	static := estimator.StaticPerGPU(plan)
+	for iter := 0; iter < 2; iter++ {
+		if err := wp.Reset(static); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		rep, err := wp.Run(plan, Options{UseCUDAGraph: true, OverlapComm: true})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if rep.MakespanV != oneShot.MakespanV {
+			t.Fatalf("iter %d: TCP pooled makespan %v != one-shot %v", iter, rep.MakespanV, oneShot.MakespanV)
+		}
+	}
+	if err := wp.Resize(4, 1); err == nil {
+		t.Fatal("resize over an adopted transport must be rejected")
+	}
+}
+
+// TestWorkerPoolResize: resizing swaps the fleet; runs before and after use
+// the respective device counts and stay correct.
+func TestWorkerPoolResize(t *testing.T) {
+	small := ppoPlan(t, 1, 1, model.LLaMA7B, model.LLaMA7B)
+	big := ppoPlan(t, 2, 1, model.LLaMA7B, model.LLaMA7B)
+
+	wp := NewWorkerPool(small.Cluster.NumGPUs(), small.Cluster.GPU.MemoryBytes)
+	defer wp.Close()
+	if err := wp.Reset(estimator.StaticPerGPU(small)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wp.Run(small, Options{UseCUDAGraph: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := wp.Resize(big.Cluster.NumGPUs(), big.Cluster.GPU.MemoryBytes); err != nil {
+		t.Fatal(err)
+	}
+	if wp.Size() != big.Cluster.NumGPUs() {
+		t.Fatalf("Size = %d after resize, want %d", wp.Size(), big.Cluster.NumGPUs())
+	}
+	if err := wp.Reset(estimator.StaticPerGPU(big)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := wp.Run(big, Options{UseCUDAGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := RunDefault(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanV != oneShot.MakespanV {
+		t.Fatalf("post-resize makespan %v != one-shot %v", rep.MakespanV, oneShot.MakespanV)
+	}
+}
+
+// TestSendAfterStopPromptError: Send on a closed transport returns an
+// explicit error immediately — no panic on a closed queue, no hang — over
+// both transports. Concurrent senders racing Close stay race-free.
+func TestSendAfterStopPromptError(t *testing.T) {
+	workers := []*ModelWorker{NewModelWorker(0, 1<<30)}
+	ct := NewChanTransport(workers)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Few enough fences that worker replies fit the reply buffer:
+			// nobody consumes replies here, and a full buffer would wedge
+			// the workers mid-test.
+			for j := 0; j < 4; j++ {
+				if err := ct.Send(0, Request{ID: fenceID(0, StreamCompute), Kind: ReqFence}); err != nil {
+					if !strings.Contains(err.Error(), "transport closed") {
+						t.Errorf("unexpected send error: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := ct.Send(0, Request{Kind: ReqFence}); err == nil || !strings.Contains(err.Error(), "transport closed") {
+		t.Fatalf("chan send after Close = %v, want prompt transport-closed error", err)
+	}
+
+	tcpWorkers := []*ModelWorker{NewModelWorker(0, 1<<30)}
+	addr, stop, err := ServeWorkersTCP(tcpWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	tr, err := NewTCPTransport(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(0, Request{Kind: ReqFence}); err == nil || !strings.Contains(err.Error(), "transport closed") {
+		t.Fatalf("tcp send after Close = %v, want prompt transport-closed error", err)
+	}
+}
+
+// TestTCPCloseMidIteration: closing the TCP transport while a run is in
+// flight surfaces an error from Run promptly instead of hanging the
+// dispatch loop.
+func TestTCPCloseMidIteration(t *testing.T) {
+	plan := reallocHeavyPlan(t, 4)
+	workers := make([]*ModelWorker, plan.Cluster.NumGPUs())
+	static := estimator.StaticPerGPU(plan)
+	for i := range workers {
+		workers[i] = NewModelWorker(i, plan.Cluster.GPU.MemoryBytes)
+		workers[i].StaticBytes = static[i]
+	}
+	addr, stop, err := ServeWorkersTCP(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	tr, err := NewTCPTransport(addr, len(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run(plan, Options{UseCUDAGraph: true, OverlapComm: true, Transport: tr, Workers: workers})
+		errc <- err
+	}()
+	tr.Close()
+	if err := <-errc; err == nil {
+		t.Fatal("run over a transport closed mid-iteration must error")
+	}
+}
+
+// limitedTransport executes requests against real workers but stops
+// replying after `limit` requests, cancelling the run's context instead —
+// a deterministic way to produce a partial report mid-iteration (the
+// master's dispatch sequence is deterministic, so the same nodes complete
+// every run).
+type limitedTransport struct {
+	workers []*ModelWorker
+	replies chan Reply
+	cancel  context.CancelFunc
+	limit   int
+
+	mu      sync.Mutex
+	handled int
+}
+
+func (lt *limitedTransport) Send(gpu int, req Request) error {
+	lt.mu.Lock()
+	lt.handled++
+	over := lt.handled > lt.limit
+	lt.mu.Unlock()
+	if over {
+		lt.cancel() // swallow the request: the node never completes
+		return nil
+	}
+	lt.replies <- lt.workers[gpu].Handle(req)
+	return nil
+}
+
+func (lt *limitedTransport) Replies() <-chan Reply { return lt.replies }
+func (lt *limitedTransport) Close() error          { return nil }
+
+// TestIterTimePartialReportClamps is the regression test for the historical
+// bug where IterTime divided a cancelled run's partial makespan by the full
+// configured iteration count. A run cancelled before any iteration
+// completes must report IterTime == MakespanV (clamped to completed
+// iterations), while the configured span is still visible in Iterations.
+func TestIterTimePartialReportClamps(t *testing.T) {
+	plan := ppoPlan(t, 1, 2, model.LLaMA7B, model.LLaMA7B)
+	static := estimator.StaticPerGPU(plan)
+	workers := make([]*ModelWorker, plan.Cluster.NumGPUs())
+	for i := range workers {
+		workers[i] = NewModelWorker(i, plan.Cluster.GPU.MemoryBytes)
+		workers[i].StaticBytes = static[i]
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Two full nodes' worth of replies, then silence + cancellation: the run
+	// ends with iteration 0 partially executed.
+	lt := &limitedTransport{
+		workers: workers,
+		replies: make(chan Reply, 4096),
+		cancel:  cancel,
+		limit:   2 * plan.Cluster.NumGPUs(),
+	}
+	rep, err := Run(plan, Options{UseCUDAGraph: true, Context: ctx, Transport: lt, Workers: workers})
+	if err == nil {
+		t.Fatal("cancelled run must return an error")
+	}
+	if rep.Iterations != 2 {
+		t.Fatalf("Iterations = %d, want the configured 2", rep.Iterations)
+	}
+	if rep.CompletedIterations != 0 {
+		t.Fatalf("CompletedIterations = %d for a run cancelled mid-iteration-0, want 0", rep.CompletedIterations)
+	}
+	if rep.MakespanV <= 0 {
+		t.Fatal("partial report must still carry the executed makespan")
+	}
+	if rep.IterTime() != rep.MakespanV {
+		t.Fatalf("partial IterTime = %v, want clamp to MakespanV %v (not /%d)",
+			rep.IterTime(), rep.MakespanV, rep.Iterations)
+	}
+
+	// A completed multi-iteration run still averages over every iteration.
+	full, err := Run(plan, Options{UseCUDAGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.CompletedIterations != 2 {
+		t.Fatalf("CompletedIterations = %d for a finished run, want 2", full.CompletedIterations)
+	}
+	if full.IterTime() != full.MakespanV/2 {
+		t.Fatalf("full-run IterTime = %v, want %v", full.IterTime(), full.MakespanV/2)
+	}
+}

@@ -35,6 +35,12 @@ const (
 	ReqComm
 	// ReqShutdown stops the worker loop.
 	ReqShutdown
+	// ReqFence is a synchronization marker: the worker answers it without
+	// touching its clocks or memory ledger. Because every transport keeps
+	// per-stream FIFO order, receiving a fence's reply proves every request
+	// enqueued before it on that stream has been handled — the primitive
+	// WorkerPool.Reset uses to quiesce workers between iterations.
+	ReqFence
 )
 
 func (k RequestKind) String() string {
@@ -45,6 +51,8 @@ func (k RequestKind) String() string {
 		return "comm"
 	case ReqShutdown:
 		return "shutdown"
+	case ReqFence:
+		return "fence"
 	}
 	return "unknown"
 }

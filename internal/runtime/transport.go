@@ -17,6 +17,12 @@ type ChanTransport struct {
 	replies chan Reply
 	wg      sync.WaitGroup
 	once    sync.Once
+
+	// mu guards the closed flag against concurrent Send/Close: a send may
+	// not race the queue close, or it would panic instead of returning the
+	// prompt "transport closed" error long-lived sessions rely on.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewChanTransport starts one goroutine per device stream.
@@ -46,7 +52,8 @@ func NewChanTransport(workers []*ModelWorker) *ChanTransport {
 	return t
 }
 
-// Send implements Transport.
+// Send implements Transport. Sending on a closed transport returns a prompt
+// error instead of panicking on the closed queue or hanging.
 func (t *ChanTransport) Send(gpu int, req Request) error {
 	if gpu < 0 || gpu >= len(t.queues) {
 		return fmt.Errorf("runtime: no worker for gpu %d", gpu)
@@ -54,6 +61,11 @@ func (t *ChanTransport) Send(gpu int, req Request) error {
 	s := req.Stream
 	if s < 0 || int(s) >= NumStreams {
 		s = StreamCompute
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return fmt.Errorf("runtime: send to gpu %d: transport closed", gpu)
 	}
 	t.queues[gpu][s] <- req
 	return nil
@@ -67,12 +79,15 @@ func (t *ChanTransport) Replies() <-chan Reply { return t.replies }
 // exit.
 func (t *ChanTransport) Close() error {
 	t.once.Do(func() {
+		t.mu.Lock()
+		t.closed = true
 		for _, lanes := range t.queues {
 			for _, q := range lanes {
 				q <- Request{Kind: ReqShutdown}
 				close(q)
 			}
 		}
+		t.mu.Unlock()
 		done := make(chan struct{})
 		go func() {
 			t.wg.Wait()
@@ -101,6 +116,9 @@ type TCPTransport struct {
 	replies chan Reply
 	wg      sync.WaitGroup
 	once    sync.Once
+
+	mu     sync.RWMutex
+	closed bool
 }
 
 // ServeWorkersTCP starts a TCP listener and one worker loop per device; the
@@ -194,10 +212,20 @@ func NewTCPTransport(addr string, n int) (*TCPTransport, error) {
 	return t, nil
 }
 
-// Send implements Transport.
+// Send implements Transport. Like ChanTransport.Send, sending on a closed
+// transport returns a prompt, explicit error (rather than surfacing the
+// underlying closed-socket write failure).
 func (t *TCPTransport) Send(gpu int, req Request) error {
 	if gpu < 0 || gpu >= len(t.conns) || t.conns[gpu] == nil {
 		return fmt.Errorf("runtime: no connection for gpu %d", gpu)
+	}
+	// Hold the read lock across the encode: releasing it first would let a
+	// concurrent Close slip in and surface as a raw closed-socket gob error
+	// instead of the explicit transport-closed error promised here.
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return fmt.Errorf("runtime: send to gpu %d: transport closed", gpu)
 	}
 	t.encMu[gpu].Lock()
 	defer t.encMu[gpu].Unlock()
@@ -211,6 +239,9 @@ func (t *TCPTransport) Replies() <-chan Reply { return t.replies }
 // replies so reader goroutines blocked on the reply channel can exit.
 func (t *TCPTransport) Close() error {
 	t.once.Do(func() {
+		t.mu.Lock()
+		t.closed = true
+		t.mu.Unlock()
 		for gpu, conn := range t.conns {
 			if conn == nil {
 				continue

@@ -65,10 +65,28 @@ func (w *ModelWorker) Peak() int64 {
 	return w.peakBytes
 }
 
+// Reset returns the worker to its initial state for the next iteration of a
+// long-lived session: stream clocks and the memory high-water mark go back
+// to zero and the resting memory is replaced (the plan — and with it each
+// device's static footprint — may have changed between iterations). Callers
+// must quiesce the worker first (WorkerPool.Reset fences every stream);
+// resetting with requests in flight would interleave old virtual times into
+// the new iteration.
+func (w *ModelWorker) Reset(staticBytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for s := range w.clockV {
+		w.clockV[s] = 0
+	}
+	w.peakBytes = 0
+	w.StaticBytes = staticBytes
+}
+
 // Handle executes one request against the simulated device and returns the
-// reply the worker would send. Shutdown requests return a zero Reply.
+// reply the worker would send. Shutdown and fence requests return a marker
+// Reply without advancing clocks or touching the memory ledger.
 func (w *ModelWorker) Handle(req Request) Reply {
-	if req.Kind == ReqShutdown {
+	if req.Kind == ReqShutdown || req.Kind == ReqFence {
 		return Reply{ID: req.ID, GPU: w.GPU}
 	}
 	s := req.Stream

@@ -12,10 +12,11 @@ import (
 // concurrent search chains:
 //
 //   - plan level: the full estimator.Result keyed by the plan's canonical
-//     Fingerprint plus the estimator's schedule semantics (OverlapComm), so
-//     a plan revisited by any chain is never re-simulated, and serialized
-//     and overlap-aware solves of one problem can share a cache without
-//     poisoning each other's makespans;
+//     Fingerprint plus the estimator's schedule semantics (OverlapComm) and
+//     profile calibration (CalibrationKey), so a plan revisited by any chain
+//     is never re-simulated, and serialized, overlap-aware and calibrated
+//     solves of one problem can share a cache without poisoning each
+//     other's entries;
 //   - node level: the duration of each augmented-graph node keyed by its
 //     inputs — (call, mesh, strategy) for call nodes, (role/bytes, src, dst)
 //     for transfer-style nodes — so even a brand-new plan only pays for the
@@ -105,12 +106,17 @@ func appendInt64(b []byte, v int64) []byte {
 
 // nodeDuration memoizes one node's duration, delegating to the estimator on
 // miss. Call nodes additionally key on the call's current assignment (the
-// plan varies underneath a stable name).
+// plan varies underneath a stable name) and on the estimator's calibration
+// key — profile feedback rescales call durations, so a calibrated estimator
+// must never read (or write) the uncalibrated entries.
 func (c *CostCache) nodeDuration(e *estimator.Estimator, p *core.Plan, n *core.AugNode) (float64, error) {
 	key := nodeKey(n)
 	if n.Kind == core.KindCall {
 		if a, ok := p.AssignmentOf(n.Call); ok {
 			key += "@" + a.Fingerprint()
+		}
+		if ck := e.CalibrationKey(); ck != "" {
+			key += "|calib=" + ck
 		}
 	}
 	c.nodeMu.RLock()
@@ -136,10 +142,15 @@ func (c *CostCache) nodeDuration(e *estimator.Estimator, p *core.Plan, n *core.A
 func (c *CostCache) Evaluate(e *estimator.Estimator, p *core.Plan) (*estimator.Result, error) {
 	// Node durations are schedule-independent, but the simulated makespan is
 	// not: the overlapped engine gives comm nodes their own lane. Key the
-	// plan-level entry by the semantics so the two never alias.
+	// plan-level entry by the semantics — and by the estimator's calibration,
+	// which rescales call durations — so differently-costed evaluations of
+	// one plan never alias.
 	fp := p.Fingerprint()
 	if e.OverlapComm {
 		fp = "overlap|" + fp
+	}
+	if ck := e.CalibrationKey(); ck != "" {
+		fp = "calib=" + ck + "|" + fp
 	}
 	c.mu.RLock()
 	r, ok := c.plans[fp]

@@ -117,6 +117,27 @@ type autoOptions struct {
 	hasChains    bool
 	overlapAware bool
 	runOpts      *RunOptions
+	// calib attaches profile-feedback calibration to the request's problem.
+	// It has no public AutoOption constructor: Trainer sessions set it when
+	// replanning, and it isolates the calibrated problem (estimator, cost
+	// cache, plan-cache entries) from every uncalibrated request via the
+	// calibration key.
+	calib *estimator.Calibration
+}
+
+// validate rejects malformed per-request options (today: RunOptions bound
+// via WithRunOptions), sharing RunOptions.Validate with the execution-time
+// checks.
+func (o *autoOptions) validate() error {
+	if o.runOpts != nil {
+		return o.runOpts.Validate()
+	}
+	return nil
+}
+
+// withCalibration routes a Trainer's profile feedback into a plan request.
+func withCalibration(c *estimator.Calibration) AutoOption {
+	return func(o *autoOptions) { o.calib = c }
 }
 
 // WithProgress streams the search's convergence (periodic samples and every
@@ -204,12 +225,15 @@ func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOp
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("realhf: plan request cancelled: %w", err)
 	}
 
 	cacheable := cfg.SearchSteps > 0
-	key := cfg.fingerprint() + warmStartKey(o.warmStarts)
+	key := cfg.fingerprint() + calibToken(o.calib) + warmStartKey(o.warmStarts)
 	p.planRequests.Add(1)
 	if cacheable {
 		if exp, ok := p.cachedPlan(key); ok {
@@ -222,7 +246,7 @@ func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOp
 	if err != nil {
 		return nil, err
 	}
-	ps, hw, g, models, err := p.problemFor(cfg)
+	ps, hw, g, models, err := p.problemFor(cfg, o.calib)
 	if err != nil {
 		return nil, err
 	}
@@ -273,14 +297,17 @@ func (p *Planner) Heuristic(cfg ExperimentConfig, opts ...AutoOption) (*Experime
 	for _, fn := range opts {
 		fn(&o)
 	}
-	if o.progress != nil || o.warmStarts != nil || o.solver != "" || o.hasChains || o.overlapAware {
+	if o.progress != nil || o.warmStarts != nil || o.solver != "" || o.hasChains || o.overlapAware || o.calib != nil {
 		return nil, fmt.Errorf("realhf: Heuristic runs no search and accepts only WithRunOptions")
 	}
 	cfg = p.merge(cfg).withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	ps, hw, g, models, err := p.problemFor(cfg)
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	ps, hw, g, models, err := p.problemFor(cfg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +335,7 @@ func (p *Planner) LoadExperiment(path string, cfg ExperimentConfig) (*Experiment
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	ps, hw, g, models, err := p.problemFor(cfg)
+	ps, hw, g, models, err := p.problemFor(cfg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -414,15 +441,19 @@ func (e *Experiment) instantiate(runOpts *RunOptions) *Experiment {
 
 // problemFor resolves the session state for cfg's problem — building the
 // graph and model cast fresh (they are cheap and per-request) while the
-// estimator, costers and cost cache come from the session pools.
-func (p *Planner) problemFor(cfg ExperimentConfig) (*problemState, hardware.Cluster, *dfg.Graph, map[dfg.Role]core.ModelSpec, error) {
+// estimator, costers and cost cache come from the session pools. A non-nil
+// calibration selects (or creates) the problem's calibrated twin: the
+// calibration key joins the pool key, so a calibrated problem owns its own
+// estimator and search.CostCache and can never poison the uncalibrated
+// (or overlap-semantics) entries a default request reads.
+func (p *Planner) problemFor(cfg ExperimentConfig, calib *estimator.Calibration) (*problemState, hardware.Cluster, *dfg.Graph, map[dfg.Role]core.ModelSpec, error) {
 	hw := hardware.DefaultCluster(cfg.Nodes)
 	hw.GPUsPerNode = cfg.GPUsPerNode
 	g, models, err := buildGraph(cfg)
 	if err != nil {
 		return nil, hw, nil, nil, err
 	}
-	key := cfg.problemKey()
+	key := cfg.problemKey() + calibToken(calib)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if v, ok := p.problems.get(key); ok {
@@ -438,9 +469,19 @@ func (p *Planner) problemFor(cfg ExperimentConfig) (*problemState, hardware.Clus
 	// LoadExperiment) simulates the overlapped engine. problemKey encodes
 	// the flag, so the serialized twin keeps its own estimator and cache.
 	est.OverlapComm = cfg.PlanForOverlap
+	est.Calib = calib
 	ps := &problemState{est: est, cache: search.NewCostCache()}
 	p.problems.add(key, ps)
 	return ps, hw, g, models, nil
+}
+
+// calibToken folds a calibration into a problem or plan-cache key ("" for
+// the uncalibrated base, so every existing key is unchanged).
+func calibToken(c *estimator.Calibration) string {
+	if k := c.Key(); k != "" {
+		return ";calib=" + k
+	}
+	return ""
 }
 
 // costerLocked returns the session's coster for (cluster shape, arch),

@@ -30,7 +30,9 @@ package realhf
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -462,7 +464,8 @@ func (e *Experiment) SavePlan(path string) error {
 }
 
 // RunOptions configures plan execution — the public mirror of the runtime
-// engine's options.
+// engine's options, plus optional overrides of the analytic cluster model
+// for what-if runs (a slower fabric, higher latencies, less HBM).
 type RunOptions struct {
 	// UseCUDAGraph captures decoding kernels into CUDA graphs (Table 6's
 	// ±CUDAGraph ablation).
@@ -472,6 +475,75 @@ type RunOptions struct {
 	// computation (§6). Disabling it serializes every node per device —
 	// the baseline side of the ±overlap ablation.
 	OverlapComm bool
+
+	// BandwidthScale, LatencyScale and MemoryScale override the cluster
+	// model for this run only: interconnect bandwidths (NVLink, RoCE, PCIe),
+	// communication latencies (per-hop and collective sync), and device HBM
+	// capacity are multiplied by the respective factor. Zero means "leave
+	// unchanged"; any other value must be positive and finite — Validate
+	// (run by Run, RunWith and every option-accepting entry point) rejects
+	// negative, NaN and infinite overrides with a wrapped
+	// ErrInvalidRunOptions. Planning is unaffected: searched plans and
+	// estimates always describe the unscaled cluster, which is exactly what
+	// makes a scaled run drift from its estimate (and what a Trainer's
+	// profile feedback then calibrates away).
+	BandwidthScale float64
+	LatencyScale   float64
+	MemoryScale    float64
+}
+
+// ErrInvalidRunOptions is wrapped by every rejection of malformed
+// RunOptions, so callers can errors.Is across Run, RunWith, WithRunOptions
+// and the Trainer options.
+var ErrInvalidRunOptions = errors.New("invalid run options")
+
+// Validate rejects malformed option values: each cluster override must be
+// either 0 (unset) or a positive, finite multiplier. It is the single
+// checker shared by every entry point that accepts RunOptions — Run and
+// RunWith at execution time, WithRunOptions/WithTrainRunOptions at
+// planning time — so all of them reject a bad value with the same wrapped
+// error.
+func (o RunOptions) Validate() error {
+	for _, f := range []struct {
+		name  string
+		value float64
+	}{
+		{"BandwidthScale", o.BandwidthScale},
+		{"LatencyScale", o.LatencyScale},
+		{"MemoryScale", o.MemoryScale},
+	} {
+		if f.value == 0 {
+			continue
+		}
+		if math.IsNaN(f.value) || math.IsInf(f.value, 0) || f.value < 0 {
+			return fmt.Errorf("realhf: %s = %v: %w (must be 0 to keep the default, or a positive finite multiplier)",
+				f.name, f.value, ErrInvalidRunOptions)
+		}
+	}
+	return nil
+}
+
+// scalesCluster reports whether any cluster override is set.
+func (o RunOptions) scalesCluster() bool {
+	return o.BandwidthScale != 0 || o.LatencyScale != 0 || o.MemoryScale != 0
+}
+
+// scaleCluster applies the validated overrides to a copy of the cluster.
+func (o RunOptions) scaleCluster(hw hardware.Cluster) hardware.Cluster {
+	if s := o.BandwidthScale; s != 0 {
+		hw.Net.IntraNodeBandwidth *= s
+		hw.Net.InterNodeBandwidth *= s
+		hw.Net.PCIeBandwidth *= s
+	}
+	if s := o.LatencyScale; s != 0 {
+		hw.Net.IntraNodeLatency *= s
+		hw.Net.InterNodeLatency *= s
+		hw.Net.CollectiveSyncOverhead *= s
+	}
+	if s := o.MemoryScale; s != 0 {
+		hw.GPU.MemoryBytes = int64(float64(hw.GPU.MemoryBytes) * s)
+	}
+	return hw
 }
 
 // DefaultRunOptions is the paper's full runtime configuration: CUDA graphs
@@ -512,7 +584,15 @@ func (e *Experiment) Run() (*RunReport, error) {
 
 // RunWith executes the experiment's plan under explicit run options.
 func (e *Experiment) RunWith(opts RunOptions) (*RunReport, error) {
-	rep, err := runtime.Run(e.Plan, runtime.Options{
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	plan := e.Plan
+	if opts.scalesCluster() {
+		plan = e.Plan.Clone()
+		plan.Cluster = opts.scaleCluster(plan.Cluster)
+	}
+	rep, err := runtime.Run(plan, runtime.Options{
 		UseCUDAGraph: opts.UseCUDAGraph,
 		OverlapComm:  opts.OverlapComm,
 	})

@@ -1,0 +1,114 @@
+package realhf
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fastConfig is a one-node workload small enough for validation-focused
+// tests that still have to run a real (short) search.
+func fastConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Nodes: 1, BatchSize: 64, PromptLen: 256, GenLen: 256,
+		RPCs: PPORPCs("llama7b", "llama7b-critic"), SearchSteps: 200, Seed: 3,
+	}
+}
+
+// TestRunOptionsValidationShared: negative, NaN and infinite cluster
+// overrides are rejected with the same wrapped ErrInvalidRunOptions by
+// every entry point that accepts RunOptions — RunWith at execution time,
+// Run via options bound at planning time, and WithRunOptions inside
+// Planner.Plan itself.
+func TestRunOptionsValidationShared(t *testing.T) {
+	planner := NewPlanner(ClusterConfig{})
+	exp, err := planner.Plan(context.Background(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []RunOptions{
+		{BandwidthScale: -1},
+		{LatencyScale: math.NaN()},
+		{MemoryScale: math.Inf(1)},
+		{BandwidthScale: math.Inf(-1)},
+	}
+	for _, opts := range bad {
+		if err := opts.Validate(); !errors.Is(err, ErrInvalidRunOptions) {
+			t.Fatalf("Validate(%+v) = %v, want ErrInvalidRunOptions", opts, err)
+		}
+		if _, err := exp.RunWith(opts); !errors.Is(err, ErrInvalidRunOptions) {
+			t.Fatalf("RunWith(%+v) = %v, want ErrInvalidRunOptions", opts, err)
+		}
+		// WithRunOptions rejects at planning time, before any search runs.
+		if _, err := planner.Plan(context.Background(), fastConfig(), WithRunOptions(opts)); !errors.Is(err, ErrInvalidRunOptions) {
+			t.Fatalf("Plan(WithRunOptions(%+v)) = %v, want ErrInvalidRunOptions", opts, err)
+		}
+		if _, err := planner.Heuristic(fastConfig(), WithRunOptions(opts)); !errors.Is(err, ErrInvalidRunOptions) {
+			t.Fatalf("Heuristic(WithRunOptions(%+v)) = %v, want ErrInvalidRunOptions", opts, err)
+		}
+	}
+
+	// Run() executes under bound options, so a bad binding that slipped past
+	// planning-time checks would still be rejected at run time; a zero or
+	// positive override is accepted.
+	if err := (RunOptions{}).Validate(); err != nil {
+		t.Fatalf("zero RunOptions must validate, got %v", err)
+	}
+	if err := (RunOptions{BandwidthScale: 0.5, LatencyScale: 2, MemoryScale: 1}).Validate(); err != nil {
+		t.Fatalf("positive overrides must validate, got %v", err)
+	}
+}
+
+// TestRunOptionsClusterOverridesApply: a what-if run under a slower fabric
+// takes longer than the default run of the same plan, and a shrunken HBM
+// override turns a feasible plan into a reported OOM. The unscaled plan and
+// the default report stay untouched.
+func TestRunOptionsClusterOverridesApply(t *testing.T) {
+	planner := NewPlanner(ClusterConfig{})
+	exp, err := planner.Plan(context.Background(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := exp.RunWith(DefaultRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.OOM {
+		t.Fatalf("base run OOMed: %v", base.Errors)
+	}
+
+	slow := DefaultRunOptions()
+	slow.BandwidthScale, slow.LatencyScale = 0.05, 20
+	slowRep, err := exp.RunWith(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowRep.IterationTime <= base.IterationTime {
+		t.Errorf("20x-slower fabric run (%v) should exceed default (%v)",
+			slowRep.IterationTime, base.IterationTime)
+	}
+
+	tiny := DefaultRunOptions()
+	tiny.MemoryScale = 0.05
+	tinyRep, err := exp.RunWith(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tinyRep.OOM {
+		t.Error("a 4GB-device override should OOM the 7B cast")
+	}
+
+	// The experiment's own plan must be untouched by scaled runs.
+	if exp.Plan.Cluster.GPU.MemoryBytes != exp.Cluster.GPU.MemoryBytes {
+		t.Error("scaled run mutated the experiment's plan cluster")
+	}
+	again, err := exp.RunWith(DefaultRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.IterationTime != base.IterationTime {
+		t.Errorf("default rerun changed after scaled runs: %v vs %v", again.IterationTime, base.IterationTime)
+	}
+}

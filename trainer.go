@@ -1,0 +1,585 @@
+package realhf
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"realhf/internal/core"
+	"realhf/internal/estimator"
+	"realhf/internal/hardware"
+	"realhf/internal/realloc"
+	"realhf/internal/runtime"
+)
+
+// Trainer is a long-lived, concurrency-safe training session — the
+// execution-side twin of the Planner. Where Experiment.Run rebuilds model
+// workers and a transport for every call, a Trainer owns a persistent
+// worker fleet and transport across the whole campaign, resetting (not
+// rebuilding) them between iterations, and it closes the planning↔execution
+// loop the one-shot API leaves open:
+//
+//   - profile feedback: observed per-RPC durations from each iteration's
+//     runtime report are folded back into the estimator as calibration
+//     multipliers (observed / predicted per call), layered over the pure
+//     cost model;
+//   - replanning: when estimate-vs-observed drift exceeds the replan
+//     threshold, or a WithGenLenSchedule workload ramp changes the config
+//     (the paper's §8 limitation — generation length drifting over a
+//     training run), the Trainer replans through the owning Planner's
+//     caches with the calibrated estimator and switches plans only when the
+//     predicted gain covers the switch cost;
+//   - switch pricing: a plan switch is charged the parameter-reallocation
+//     cost of moving every model from its old home layout to the new one,
+//     priced exactly as §5 prices reallocation (parallel broadcasts, the
+//     busiest GPU bounds the wall time), and accounted in the iteration
+//     report and the campaign total;
+//   - elastic resize: Resize replans the campaign onto a different node
+//     count mid-training, charges the reallocation into the new mesh, and
+//     swaps the worker fleet.
+//
+// Calibrated replans live in calibration-keyed planner problems, so a
+// Trainer never poisons the session's default plan or cost caches: a plain
+// Planner.Plan for the same config before and after a campaign returns
+// byte-identical estimates.
+//
+// Step, Campaign, Resize, Stats and Close may be called from any goroutine;
+// the session serializes them internally (iterations are inherently
+// sequential — each consumes the previous one's profile feedback).
+type Trainer struct {
+	planner *Planner
+
+	mu   sync.Mutex
+	base ExperimentConfig // defaults applied; GenLen/Nodes evolve with schedule and resizes
+	opts trainOptions
+	run  RunOptions
+
+	pool *runtime.WorkerPool
+	hw   hardware.Cluster // execution cluster (run-option scaling applied)
+
+	plan       *core.Plan       // current execution plan (assignments)
+	plannedCfg ExperimentConfig // config the current plan was last (re)considered at
+	calib      *estimator.Calibration
+	drifted    bool // profile feedback demands a replan before the next iteration
+
+	iter              int
+	replans, switches int
+	switchCostV       float64
+	totalV            float64
+	pendingSwitchCost float64
+	closed            bool
+}
+
+// TrainOption customizes a training session.
+type TrainOption func(*trainOptions)
+
+type trainOptions struct {
+	progress   func(IterationReport)
+	genLen     func(iter int) int
+	threshold  float64
+	frozen     bool
+	runOpts    *RunOptions
+	planOpts   []AutoOption
+	hasRunOpts bool
+}
+
+// defaultReplanThreshold is the estimate-vs-observed relative drift above
+// which the Trainer replans (15%): comfortably above the estimator's
+// residual error on predictable workloads (Fig. 12 reports single-digit
+// percentages there), and comfortably below the drift a real generation
+// length change produces.
+const defaultReplanThreshold = 0.15
+
+// WithIterationProgress streams every iteration's report to fn as the
+// campaign runs — makespan, observed per-RPC durations, drift, charged
+// reallocation cost and the plan fingerprint. fn runs on the training
+// critical path between iterations (with the session unlocked, so it may
+// call back into the Trainer) and must be fast.
+func WithIterationProgress(fn func(IterationReport)) TrainOption {
+	return func(o *trainOptions) { o.progress = fn }
+}
+
+// WithGenLenSchedule makes the workload dynamic: iteration i generates
+// fn(i) tokens instead of the config's fixed GenLen. This is the §8
+// scenario — generation length drifting over a training run — and a change
+// in the scheduled length is a replan trigger (the Trainer still switches
+// plans only when the predicted gain covers the reallocation cost).
+func WithGenLenSchedule(fn func(iter int) int) TrainOption {
+	return func(o *trainOptions) { o.genLen = fn }
+}
+
+// WithReplanThreshold sets the estimate-vs-observed relative drift (e.g.
+// 0.15 for 15%) above which profile feedback triggers a replan. Values <= 0
+// are rejected by Train.
+func WithReplanThreshold(frac float64) TrainOption {
+	return func(o *trainOptions) { o.threshold = frac }
+}
+
+// WithFrozenPlan pins the iteration-0 plan for the whole campaign: no
+// profile feedback, no replanning, no switch charges — the one-shot
+// baseline the replanning Trainer is measured against (and the only mode
+// the pre-Trainer API could express). Reports still stream.
+func WithFrozenPlan() TrainOption {
+	return func(o *trainOptions) { o.frozen = true }
+}
+
+// WithTrainRunOptions executes every iteration under the given run options
+// instead of DefaultRunOptions. Options are validated by Train with the
+// same shared checker as Run/RunWith/WithRunOptions. Note that cluster
+// overrides (bandwidth, latency, memory scales) apply to execution only —
+// planning still models the unscaled cluster, so the resulting
+// estimate-vs-observed drift is real feedback the session calibrates away.
+func WithTrainRunOptions(opts RunOptions) TrainOption {
+	return func(o *trainOptions) { o.runOpts, o.hasRunOpts = &opts, true }
+}
+
+// WithPlanOptions forwards planning options (WithSolver,
+// WithSearchParallelism, WithOverlapAwareSearch, ...) to the initial plan
+// and to every replan the session issues.
+func WithPlanOptions(opts ...AutoOption) TrainOption {
+	return func(o *trainOptions) { o.planOpts = append(o.planOpts, opts...) }
+}
+
+// IterationReport describes one executed campaign iteration.
+type IterationReport struct {
+	// Iter is the iteration index within the campaign (0-based).
+	Iter int
+	// GenLen and Nodes are the workload and cluster scale this iteration
+	// executed at.
+	GenLen, Nodes int
+	// MakespanV is the iteration's virtual wall time (excluding any plan
+	// switch; see ReallocSwitchCost). EstMakespanV is what the (calibrated)
+	// estimator predicted for the executed plan under this iteration's
+	// workload — the pair the session's drift detection and the Fig. 12
+	// estimator-accuracy comparison are built from.
+	MakespanV    float64
+	EstMakespanV float64
+	// ThroughputPFLOPs is the iteration's end-to-end throughput.
+	ThroughputPFLOPs float64
+	// CallTimes are the observed per-RPC durations from the runtime report;
+	// EstCallTimes are the (calibrated) estimator's predictions for the same
+	// calls. Their ratio is the profile feedback folded into the session's
+	// calibration.
+	CallTimes, EstCallTimes map[string]float64
+	// Drift is the largest relative |observed-estimated|/estimated over the
+	// iteration's calls, measured before this iteration's feedback was
+	// folded in. Exceeding the replan threshold schedules a replan.
+	Drift float64
+	// Replanned reports that a replan ran before this iteration; Switched
+	// that it actually changed the plan (a replan whose candidate cannot pay
+	// for its own reallocation keeps the incumbent). PlanCached reports the
+	// replan was answered from the Planner's plan cache without a search.
+	Replanned, Switched, PlanCached bool
+	// ReallocSwitchCost is the §5-priced parameter-reallocation cost charged
+	// between the previous iteration and this one (0 when the plan was
+	// kept). It is included in the campaign's total makespan.
+	ReallocSwitchCost float64
+	// PlanFingerprint identifies the executed plan's assignments.
+	PlanFingerprint string
+	// OOM and Errors surface worker diagnostics.
+	OOM    bool
+	Errors []string
+}
+
+// CampaignReport aggregates a multi-iteration run.
+type CampaignReport struct {
+	Iterations []IterationReport
+	// TotalMakespanV is the campaign's virtual wall time: the sum of
+	// iteration makespans plus every charged plan-switch reallocation cost.
+	TotalMakespanV float64
+	// SwitchCostV is the reallocation total alone.
+	SwitchCostV float64
+	// Replans counts replan attempts; Switches counts adopted plan changes.
+	Replans, Switches int
+}
+
+// TrainerStats snapshots a session.
+type TrainerStats struct {
+	// Iterations is the number of iterations executed so far.
+	Iterations int
+	// Replans counts replan attempts (drift- or schedule-triggered, plus
+	// resizes); Switches counts the ones that changed the plan.
+	Replans, Switches int
+	// SwitchCostV and TotalMakespanV mirror the campaign accounting.
+	SwitchCostV, TotalMakespanV float64
+	// Nodes is the current cluster scale.
+	Nodes int
+	// PlanFingerprint identifies the current plan.
+	PlanFingerprint string
+	// CalibrationFactors is the current profile-feedback state: per-call
+	// observed/predicted multipliers (nil when the pure cost model has been
+	// accurate so far).
+	CalibrationFactors map[string]float64
+}
+
+// Train opens a training session for cfg: it plans the first iteration
+// through the session's caches (exactly as Plan would), then hands the plan
+// to a persistent worker fleet the returned Trainer drives across
+// iterations. The context governs the initial planning only; each
+// Step/Campaign call takes its own.
+//
+// A GenLen schedule (WithGenLenSchedule) makes iteration 0's length the
+// schedule's, not the config's. Close the Trainer to release its workers.
+func (p *Planner) Train(ctx context.Context, cfg ExperimentConfig, opts ...TrainOption) (*Trainer, error) {
+	o := trainOptions{threshold: defaultReplanThreshold}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.threshold <= 0 {
+		return nil, fmt.Errorf("realhf: replan threshold %v must be positive", o.threshold)
+	}
+	run := DefaultRunOptions()
+	if o.hasRunOpts {
+		run = *o.runOpts
+	}
+	if err := run.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = p.merge(cfg).withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Align the planning objective with the engine the campaign executes on:
+	// with communication overlap enabled (the default), every session plan —
+	// initial, replans, resizes — is searched and estimated under the
+	// overlapped cost semantics. Replanning decisions compare estimates
+	// against observed makespans, and comparing a serialized estimate
+	// against an overlapped runtime would systematically mis-adopt plans.
+	if run.OverlapComm {
+		cfg.PlanForOverlap = true
+	}
+	if o.genLen != nil {
+		g0 := o.genLen(0)
+		if g0 <= 0 {
+			return nil, fmt.Errorf("realhf: GenLen schedule returned %d for iteration 0", g0)
+		}
+		cfg.GenLen = g0
+	}
+	exp, err := p.Plan(ctx, cfg, o.planOpts...)
+	if err != nil {
+		return nil, err
+	}
+	hw := run.scaleCluster(exp.Cluster)
+	t := &Trainer{
+		planner:    p,
+		base:       cfg,
+		opts:       o,
+		run:        run,
+		pool:       runtime.NewWorkerPool(hw.NumGPUs(), hw.GPU.MemoryBytes),
+		hw:         hw,
+		plan:       exp.Plan,
+		plannedCfg: exp.Config,
+	}
+	return t, nil
+}
+
+// Step executes the next campaign iteration: it applies the GenLen
+// schedule, replans if profile feedback or the workload demands it (never
+// in a frozen session), charges any plan-switch reallocation, resets the
+// worker fleet, runs the iteration, and folds the observed per-RPC
+// durations back into the session's calibration.
+func (t *Trainer) Step(ctx context.Context) (*IterationReport, error) {
+	return t.step(ctx)
+}
+
+// step runs one locked iteration and then streams its report with the lock
+// released, so a WithIterationProgress callback may freely call back into
+// the session (Stats, even Resize) without deadlocking.
+func (t *Trainer) step(ctx context.Context) (*IterationReport, error) {
+	t.mu.Lock()
+	rep, err := t.stepLocked(ctx)
+	t.mu.Unlock()
+	if err == nil && t.opts.progress != nil {
+		t.opts.progress(*rep)
+	}
+	return rep, err
+}
+
+func (t *Trainer) stepLocked(ctx context.Context) (*IterationReport, error) {
+	if t.closed {
+		return nil, fmt.Errorf("realhf: trainer is closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("realhf: training step cancelled: %w", err)
+	}
+	iter := t.iter
+	workCfg := t.base
+	if t.opts.genLen != nil {
+		g := t.opts.genLen(iter)
+		if g <= 0 {
+			return nil, fmt.Errorf("realhf: GenLen schedule returned %d for iteration %d", g, iter)
+		}
+		workCfg.GenLen = g
+	}
+
+	report := IterationReport{Iter: iter, GenLen: workCfg.GenLen, Nodes: workCfg.Nodes}
+	if !t.opts.frozen && (workCfg.GenLen != t.plannedCfg.GenLen || t.drifted) {
+		switched, cached, err := t.replanLocked(ctx, workCfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Replanned, report.Switched, report.PlanCached = true, switched, cached
+	}
+
+	execPlan, est, err := t.instantiateLocked(workCfg)
+	if err != nil {
+		return nil, err
+	}
+	static := estimator.StaticPerGPU(execPlan)
+	if err := t.pool.Reset(static); err != nil {
+		return nil, err
+	}
+	rep, err := t.pool.Run(execPlan, runtime.Options{
+		UseCUDAGraph: t.run.UseCUDAGraph,
+		OverlapComm:  t.run.OverlapComm,
+		Context:      ctx,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("realhf: iteration %d failed: %w", iter, err)
+	}
+
+	report.MakespanV = rep.MakespanV
+	report.EstMakespanV = est.TimeCost
+	report.CallTimes = rep.CallTimes
+	report.EstCallTimes = est.CallTimes
+	report.OOM = rep.OOM
+	report.Errors = rep.Errors
+	report.PlanFingerprint = execPlan.Fingerprint()
+	report.ReallocSwitchCost = t.pendingSwitchCost
+	if !rep.OOM {
+		report.ThroughputPFLOPs = estimator.Throughput(execPlan, rep.MakespanV)
+	}
+
+	// Profile feedback: compare what ran against what the (calibrated)
+	// estimator predicted, fold the ratios into the calibration, and flag a
+	// replan when the model was off by more than the threshold. OOM
+	// iterations carry truncated durations and are not folded in.
+	if !rep.OOM {
+		drift, next := foldFeedback(t.calib, rep.CallTimes, est.CallTimes)
+		report.Drift = drift
+		if !t.opts.frozen {
+			t.calib = next
+			t.drifted = drift > t.opts.threshold
+		}
+	}
+
+	t.totalV += rep.MakespanV + t.pendingSwitchCost
+	t.switchCostV += t.pendingSwitchCost
+	t.pendingSwitchCost = 0
+	t.iter++
+	return &report, nil
+}
+
+// foldFeedback derives the post-iteration calibration and the observed
+// drift: for every call with both an observed and a predicted duration, the
+// new absolute factor is observed/pure-model-prediction (obtained by
+// multiplying the current factor by observed/calibrated-prediction).
+func foldFeedback(cur *estimator.Calibration, observed, predicted map[string]float64) (float64, *estimator.Calibration) {
+	var drift float64
+	factors := cur.Factors()
+	if factors == nil {
+		factors = map[string]float64{}
+	}
+	for name, obs := range observed {
+		pred, ok := predicted[name]
+		if !ok || pred <= 0 || obs <= 0 {
+			continue
+		}
+		ratio := obs / pred
+		if d := ratio - 1; d > drift {
+			drift = d
+		} else if d := 1 - ratio; d > drift {
+			drift = d
+		}
+		f := cur.Factor(name) * ratio
+		factors[name] = f
+	}
+	return drift, estimator.NewCalibration(factors)
+}
+
+// replanLocked re-searches the plan for workCfg through the owning
+// Planner's caches under the session calibration, warm-starting the search
+// from the incumbent plan re-attached to the new workload — so the fresh
+// estimate can never regress below what keeping the old plan predicts — and
+// adopts the candidate only when its predicted iteration cost plus the
+// §5-priced switch reallocation beats the incumbent on the new workload.
+// Either way the workload is considered handled: the schedule must change
+// (or new drift appear) before the next replan.
+func (t *Trainer) replanLocked(ctx context.Context, workCfg ExperimentConfig) (switched, cached bool, err error) {
+	opts := append(append([]AutoOption{}, t.opts.planOpts...), withCalibration(t.calib))
+	stalePlan, staleEst, staleErr := t.evaluateLocked(workCfg, t.plan)
+	if staleErr == nil {
+		opts = append(opts, WithWarmStart(stalePlan))
+	}
+	exp, err := t.planner.Plan(ctx, workCfg, opts...)
+	if err != nil {
+		return false, false, err
+	}
+	t.replans++
+	adopt := false
+	if exp.Plan.Fingerprint() != t.plan.Fingerprint() {
+		cost := realloc.SwitchCost(t.plan, exp.Plan, t.hw)
+		if staleErr != nil {
+			// The incumbent no longer validates on the new workload: the
+			// switch is forced, and its reallocation still charged.
+			adopt = true
+		} else {
+			adopt = exp.Estimate.Cost+cost < staleEst.Cost
+		}
+		if adopt {
+			t.pendingSwitchCost += cost
+			t.plan = exp.Plan
+			t.switches++
+		}
+	}
+	t.plannedCfg = exp.Config
+	t.drifted = false
+	return adopt, exp.Cached, nil
+}
+
+// instantiateLocked re-attaches the current assignments to workCfg's graph
+// (the workload may have moved since the plan was searched) and estimates
+// it through the planner's calibrated problem state. The returned execution
+// plan carries the Trainer's (possibly run-option-scaled) cluster; the
+// estimate is always computed against the canonical unscaled problem, so
+// shared cost caches stay consistent.
+func (t *Trainer) instantiateLocked(workCfg ExperimentConfig) (*core.Plan, *estimator.Result, error) {
+	plan, res, err := t.evaluateLocked(workCfg, t.plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	exec := plan.Clone()
+	exec.Cluster = t.hw
+	return exec, res, nil
+}
+
+// evaluateLocked builds workCfg's graph with the given plan's assignments
+// and returns the (calibrated) estimate via the planner's shared caches.
+func (t *Trainer) evaluateLocked(workCfg ExperimentConfig, src *core.Plan) (*core.Plan, *estimator.Result, error) {
+	ps, hw, g, models, err := t.planner.problemFor(workCfg, t.calib)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := core.NewPlan(hw, g, models)
+	for name, a := range src.Assign {
+		plan.Assign[name] = a
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, nil, err
+	}
+	res, err := ps.cache.Evaluate(ps.est, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, res, nil
+}
+
+// Campaign runs n iterations back to back, aggregating their reports. A
+// context cancellation mid-campaign returns the completed prefix together
+// with the wrapped error — the accounting mirrors Report.IterTime's
+// partial-run semantics: only iterations that actually ran are summed.
+// Each iteration locks the session individually (so progress callbacks run
+// unlocked); a Step or Resize issued concurrently from another goroutine
+// may therefore interleave between a campaign's iterations, never inside
+// one.
+func (t *Trainer) Campaign(ctx context.Context, n int) (*CampaignReport, error) {
+	out := &CampaignReport{}
+	for i := 0; i < n; i++ {
+		rep, err := t.step(ctx)
+		if err != nil {
+			return out, err
+		}
+		out.Iterations = append(out.Iterations, *rep)
+		out.TotalMakespanV += rep.MakespanV + rep.ReallocSwitchCost
+		out.SwitchCostV += rep.ReallocSwitchCost
+		if rep.Replanned {
+			out.Replans++
+		}
+		if rep.Switched {
+			out.Switches++
+		}
+	}
+	return out, nil
+}
+
+// Resize moves the campaign to a different node count mid-training: the
+// session replans on the new mesh through the Planner's caches (calibrated
+// with everything profiled so far), charges the parameter reallocation into
+// the new layout — priced on the larger of the two clusters, whose device
+// range spans both meshes — and swaps the worker fleet to the new size. The
+// cost lands on the next iteration's report.
+func (t *Trainer) Resize(ctx context.Context, nodes int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("realhf: trainer is closed")
+	}
+	if nodes <= 0 {
+		return fmt.Errorf("realhf: resize to %d nodes", nodes)
+	}
+	if nodes == t.base.Nodes {
+		return nil
+	}
+	newCfg := t.base
+	newCfg.Nodes = nodes
+	// Plan the new mesh at the workload the next iteration will actually
+	// execute: with an active schedule, the upcoming iteration's length —
+	// not the pre-resize one — or the very next Step would immediately
+	// replan (and possibly charge a second switch) on the fresh mesh.
+	newCfg.GenLen = t.plannedCfg.GenLen
+	if t.opts.genLen != nil {
+		if g := t.opts.genLen(t.iter); g > 0 {
+			newCfg.GenLen = g
+		}
+	}
+	opts := append(append([]AutoOption{}, t.opts.planOpts...), withCalibration(t.calib))
+	exp, err := t.planner.Plan(ctx, newCfg, opts...)
+	if err != nil {
+		return fmt.Errorf("realhf: resize to %d nodes: %w", nodes, err)
+	}
+	newHW := t.run.scaleCluster(exp.Cluster)
+	priceHW := t.hw
+	if newHW.NumGPUs() > priceHW.NumGPUs() {
+		priceHW = newHW
+	}
+	t.pendingSwitchCost += realloc.SwitchCost(t.plan, exp.Plan, priceHW)
+	if err := t.pool.Resize(newHW.NumGPUs(), newHW.GPU.MemoryBytes); err != nil {
+		return err
+	}
+	t.replans++
+	t.switches++
+	t.base.Nodes = nodes
+	t.plannedCfg = exp.Config
+	t.plan = exp.Plan
+	t.hw = newHW
+	t.drifted = false
+	return nil
+}
+
+// Stats snapshots the session counters and profile-feedback state.
+func (t *Trainer) Stats() TrainerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TrainerStats{
+		Iterations:         t.iter,
+		Replans:            t.replans,
+		Switches:           t.switches,
+		SwitchCostV:        t.switchCostV,
+		TotalMakespanV:     t.totalV,
+		Nodes:              t.base.Nodes,
+		PlanFingerprint:    t.plan.Fingerprint(),
+		CalibrationFactors: t.calib.Factors(),
+	}
+}
+
+// Close releases the session's worker fleet. Idempotent; a closed Trainer
+// rejects further Steps.
+func (t *Trainer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return t.pool.Close()
+}
