@@ -28,6 +28,7 @@ const benchSteps = 1500
 
 // BenchmarkTable1ModelConfigs regenerates Table 1 (exact parameter counts).
 func BenchmarkTable1ModelConfigs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out := experiments.Table1()
 		if len(out) == 0 {
@@ -39,6 +40,7 @@ func BenchmarkTable1ModelConfigs(b *testing.B) {
 // BenchmarkTablePlans regenerates the Tables 2–5 plan listings and the
 // Table 6 breakdown (quick scale).
 func BenchmarkTablePlans(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out, cases, err := experiments.Tables2to6(benchSteps, true)
 		if err != nil {
@@ -54,6 +56,7 @@ func BenchmarkTablePlans(b *testing.B) {
 // BenchmarkTable6Breakdown measures the searched-vs-heuristic end-to-end gap
 // for the paper's small representative case including the ±CUDAGraph rows.
 func BenchmarkTable6Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
 	for i := 0; i < b.N; i++ {
 		c, err := experiments.RunBreakdownCase("7b+7b", s, benchSteps, 1)
@@ -69,6 +72,7 @@ func BenchmarkTable6Breakdown(b *testing.B) {
 // BenchmarkFig2Opportunity regenerates the sequential optimization-gain
 // figure.
 func BenchmarkFig2Opportunity(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig2(s, benchSteps, 2); err != nil {
@@ -80,6 +84,7 @@ func BenchmarkFig2Opportunity(b *testing.B) {
 // BenchmarkFig7EndToEnd compares ReaL against all baseline systems at the
 // 16-GPU weak-scaling point.
 func BenchmarkFig7EndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig7(model.LLaMA7B, []int{16}, benchSteps)
 		if err != nil {
@@ -101,6 +106,7 @@ func BenchmarkFig7EndToEnd(b *testing.B) {
 // BenchmarkFig8Heuristic compares searched plans against the heuristic at
 // context lengths 2048 and 8192.
 func BenchmarkFig8Heuristic(b *testing.B) {
+	b.ReportAllocs()
 	combos := [][2]model.Config{{model.LLaMA7B, model.LLaMA7B}}
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig8(combos, 2, []int{2048, 8192}, benchSteps)
@@ -114,6 +120,7 @@ func BenchmarkFig8Heuristic(b *testing.B) {
 
 // BenchmarkFig9Progressive regenerates the progressive-optimization walk.
 func BenchmarkFig9Progressive(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
 	for i := 0; i < b.N; i++ {
 		stages, _, err := experiments.Fig9(s, benchSteps, 1)
@@ -126,6 +133,7 @@ func BenchmarkFig9Progressive(b *testing.B) {
 
 // BenchmarkFig10KernelTrace regenerates the simplified kernel traces.
 func BenchmarkFig10KernelTrace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if out := experiments.Fig10(16); len(out) == 0 {
 			b.Fatal("empty trace")
@@ -135,6 +143,7 @@ func BenchmarkFig10KernelTrace(b *testing.B) {
 
 // BenchmarkFig11GPUTime regenerates the GPU-time decomposition.
 func BenchmarkFig11GPUTime(b *testing.B) {
+	b.ReportAllocs()
 	combos := [][2]model.Config{{model.LLaMA7B, model.LLaMA7B}}
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig11(combos, 2, benchSteps)
@@ -148,6 +157,7 @@ func BenchmarkFig11GPUTime(b *testing.B) {
 
 // BenchmarkFig12Estimator regenerates the estimator-accuracy study.
 func BenchmarkFig12Estimator(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, _, err := experiments.Fig12([]int{2}, benchSteps)
 		if err != nil {
@@ -165,6 +175,7 @@ func BenchmarkFig12Estimator(b *testing.B) {
 
 // BenchmarkFig13Search regenerates the search-convergence curves.
 func BenchmarkFig13Search(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		curves, _, err := experiments.Fig13(benchSteps, []int{2048})
 		if err != nil {
@@ -177,6 +188,7 @@ func BenchmarkFig13Search(b *testing.B) {
 // BenchmarkFig14Pruning regenerates the 1024-GPU pruning ablation (reduced
 // step budget; the full run lives in cmd/realbench).
 func BenchmarkFig14Pruning(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		curves, _, err := experiments.Fig14(400, []int{100, 300})
 		if err != nil {
@@ -189,6 +201,7 @@ func BenchmarkFig14Pruning(b *testing.B) {
 
 // BenchmarkFig15Optimality regenerates the MCMC-vs-brute-force study.
 func BenchmarkFig15Optimality(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, _, err := experiments.Fig15(benchSteps, 4)
 		if err != nil {
@@ -201,6 +214,7 @@ func BenchmarkFig15Optimality(b *testing.B) {
 
 // BenchmarkFig16Algorithms regenerates the DPO/GRPO/ReMax comparison.
 func BenchmarkFig16Algorithms(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig16(2, benchSteps, model.LLaMA13B, model.LLaMA7B)
 		if err != nil {
@@ -214,6 +228,7 @@ func BenchmarkFig16Algorithms(b *testing.B) {
 
 // BenchmarkFig17StrongScaling regenerates the strong-scaling study.
 func BenchmarkFig17StrongScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig17([]model.Config{model.LLaMA7B}, []int{1, 2, 4}, 700)
 		if err != nil {
@@ -226,6 +241,7 @@ func BenchmarkFig17StrongScaling(b *testing.B) {
 // BenchmarkAblationNoRealloc quantifies parameter reallocation's
 // contribution versus the best one-layout-per-model plan.
 func BenchmarkAblationNoRealloc(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.AblationNoRealloc(2, benchSteps)
 		if err != nil {
@@ -238,6 +254,7 @@ func BenchmarkAblationNoRealloc(b *testing.B) {
 // BenchmarkAblationCrossIter measures cross-iteration overlap on the
 // concatenated dataflow graph.
 func BenchmarkAblationCrossIter(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA13B)
 	for i := 0; i < b.N; i++ {
 		single, double, _, err := experiments.AblationCrossIter(s, benchSteps)
@@ -251,6 +268,7 @@ func BenchmarkAblationCrossIter(b *testing.B) {
 // BenchmarkLimitationStudy measures estimator degradation under dynamic
 // generation lengths (the paper's §7 predictability limitation).
 func BenchmarkLimitationStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.LimitationStudy(2, 800, []float64{0, 0.5}, 9)
 		if err != nil {
@@ -264,6 +282,7 @@ func BenchmarkLimitationStudy(b *testing.B) {
 // second on the 7B+7B/16-GPU problem (the quantity behind the paper's
 // seconds-scale search times).
 func BenchmarkSearchThroughput(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
 	pr, err := experiments.NewProblem(s)
 	if err != nil {
@@ -285,6 +304,7 @@ func BenchmarkSearchThroughput(b *testing.B) {
 // speedup-x metric stays >= 1); with more cores the gap widens because
 // chains explore concurrently instead of time-sharing.
 func BenchmarkParallelMCMCWallClock(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
 	pr, err := experiments.NewProblem(s)
 	if err != nil {
@@ -323,6 +343,7 @@ func BenchmarkParallelMCMCWallClock(b *testing.B) {
 // All metrics are deterministic virtual quantities gated exactly by the CI
 // bench-regression check; overlap-vs-serial-x must never exceed 1.
 func BenchmarkOverlapAwareSearch(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
 	pr, err := experiments.NewProblem(s)
 	if err != nil {
@@ -362,6 +383,7 @@ func BenchmarkOverlapAwareSearch(b *testing.B) {
 // replanning campaign wins even after paying every charged plan-switch
 // reallocation (replan-switch-s).
 func BenchmarkTrainerReplan(b *testing.B) {
+	b.ReportAllocs()
 	ctx := context.Background()
 	const iters = 4
 	for i := 0; i < b.N; i++ {
@@ -400,6 +422,7 @@ func BenchmarkTrainerReplan(b *testing.B) {
 // timed iteration must be a hit and must return exactly the originally
 // solved cost.
 func BenchmarkPlannerCachedPlan(b *testing.B) {
+	b.ReportAllocs()
 	planner := NewPlanner(ClusterConfig{})
 	cfg := ExperimentConfig{
 		Nodes: 1, BatchSize: 64, PromptLen: 256, GenLen: 256,
@@ -430,6 +453,7 @@ func BenchmarkPlannerCachedPlan(b *testing.B) {
 // BenchmarkEstimatorEvaluate measures one cost-estimation call — the paper
 // quotes hundreds of microseconds per candidate plan.
 func BenchmarkEstimatorEvaluate(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
 	pr, err := experiments.NewProblem(s)
 	if err != nil {
@@ -447,9 +471,71 @@ func BenchmarkEstimatorEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimatorDelta measures the incremental re-costing path the MCMC
+// inner loop rides: a warmed EvalSession re-evaluating a plan that differs by
+// one call's assignment per step. Alongside time and allocations it reports
+// the session's per-eval node counts, which are deterministic: graph-nodes is
+// the augmented-graph size, and recost-nodes must be 0 once both variants are
+// warm — every step is answered from the per-slot signature memo.
+func BenchmarkEstimatorDelta(b *testing.B) {
+	b.ReportAllocs()
+	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
+	pr, err := experiments.NewProblem(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := baselines.BuildHeuristic(pr.Cluster, pr.Graph, pr.Models)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Two legal assignments for one call, differing only in micro-batching:
+	// the single-RPC mutation shape the solver proposes.
+	const mutated = "ActorTrain"
+	base := plan.Assign[mutated]
+	alt := base
+	if alt.Strategy.MicroBatches == 1 {
+		alt.Strategy.MicroBatches = 2
+	} else {
+		alt.Strategy.MicroBatches = 1
+	}
+	variants := [2]core.Assignment{base, alt}
+	sess := pr.Est.NewSession(nil)
+	for _, v := range variants {
+		plan.Assign[mutated] = v
+		if err := plan.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Evaluate(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Assign[mutated] = variants[i%2]
+		if _, err := sess.Evaluate(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// A fixed two-eval probe (one per variant) keeps the reported counts
+	// independent of b.N: the variants' augmented graphs differ in size, so
+	// averaging over the timed loop would depend on its parity.
+	st0 := sess.Stats()
+	for _, v := range variants {
+		plan.Assign[mutated] = v
+		if _, err := sess.Evaluate(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := sess.Stats()
+	b.ReportMetric(float64(st.NodeLookups-st0.NodeLookups)/2, "graph-nodes")
+	b.ReportMetric(float64(st.NodeRecosts-st0.NodeRecosts)/2, "recost-nodes")
+}
+
 // BenchmarkRuntimeExecution measures the runtime engine's dispatch loop
 // (master + 16 workers, one PPO iteration).
 func BenchmarkRuntimeExecution(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
 	pr, err := experiments.NewProblem(s)
 	if err != nil {
@@ -473,6 +559,7 @@ func BenchmarkRuntimeExecution(b *testing.B) {
 // bench-regression gate pins them exactly (within float tolerance), while
 // ns/op tracks the physical dispatch loop.
 func BenchmarkRuntimeOverlap(b *testing.B) {
+	b.ReportAllocs()
 	cluster := hardware.DefaultCluster(2)
 	g := dfg.BuildPPO(dfg.Spec{Batch: 256, PromptLen: 512, GenLen: 512, Iterations: 2})
 	plan := core.NewPlan(cluster, g, core.PPOModels(model.LLaMA7B, model.LLaMA7B))
@@ -512,6 +599,7 @@ func BenchmarkRuntimeOverlap(b *testing.B) {
 // BenchmarkGreedySeed measures greedy seed-plan construction over the full
 // candidate space.
 func BenchmarkGreedySeed(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.PaperSetting(2, model.LLaMA7B, model.LLaMA7B)
 	pr, err := experiments.NewProblem(s)
 	if err != nil {

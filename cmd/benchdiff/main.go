@@ -9,9 +9,14 @@
 //     are compared two-sided against the baseline with a tight relative
 //     tolerance — any drift, faster or slower, is a semantic change that
 //     must be accompanied by a deliberate baseline regeneration.
-//   - ns/op (and B/op, allocs/op): physical, machine-dependent. These are
-//     gated one-sided with a generous factor to catch order-of-magnitude
-//     blowups without flaking on runner variance; 0 disables that gate.
+//   - ns/op (and MB/s): physical, machine-dependent. These are gated
+//     one-sided with a generous factor to catch order-of-magnitude blowups
+//     without flaking on runner variance; 0 disables that gate.
+//   - allocs/op and B/op: allocation counts are a property of the code, not
+//     the machine, so they get their own much tighter one-sided -alloc-factor
+//     gate. The solver hot path is allocation-free by construction; a creep
+//     back to per-step garbage is a regression even when ns/op stays inside
+//     the noisy time gate.
 //
 // Usage:
 //
@@ -51,7 +56,11 @@ type Manifest struct {
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
 // physicalUnits are machine-dependent and gated one-sided by -time-factor.
-var physicalUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true}
+var physicalUnits = map[string]bool{"ns/op": true, "MB/s": true}
+
+// allocUnits are machine-independent allocation counters, gated one-sided by
+// the tighter -alloc-factor.
+var allocUnits = map[string]bool{"B/op": true, "allocs/op": true}
 
 func parseBenchOutput(r io.Reader) (*Manifest, error) {
 	m := &Manifest{Benchmarks: map[string]Bench{}}
@@ -88,7 +97,7 @@ func parseBenchOutput(r io.Reader) (*Manifest, error) {
 
 // compare gates current against baseline; it returns the list of failures
 // (empty means the gate passes).
-func compare(baseline, current *Manifest, metricTol, timeFactor float64) []string {
+func compare(baseline, current *Manifest, metricTol, timeFactor, allocFactor float64) []string {
 	var fails []string
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
@@ -125,6 +134,22 @@ func compare(baseline, current *Manifest, metricTol, timeFactor float64) []strin
 				}
 				continue
 			}
+			if allocUnits[unit] {
+				if allocFactor <= 0 {
+					continue
+				}
+				// A zero baseline means the path is allocation-free; hold it
+				// there exactly rather than letting a multiplicative gate
+				// vacuously pass any creep.
+				if bv == 0 && cv > 0 {
+					fails = append(fails, fmt.Sprintf("%s: %s grew 0 -> %.0f (allocation-free baseline)",
+						name, unit, cv))
+				} else if cv > bv*allocFactor {
+					fails = append(fails, fmt.Sprintf("%s: %s %.0f exceeds baseline %.0f by more than %gx",
+						name, unit, cv, bv, allocFactor))
+				}
+				continue
+			}
 			scale := math.Max(math.Abs(bv), 1e-12)
 			if math.Abs(cv-bv)/scale > metricTol {
 				fails = append(fails, fmt.Sprintf("%s: %s drifted %.6g -> %.6g (>%.2g%% relative)",
@@ -144,6 +169,8 @@ func main() {
 		"two-sided relative tolerance for deterministic custom metrics")
 	timeFactor := flag.Float64("time-factor", 8,
 		"one-sided blowup factor for machine-dependent ns/op-style numbers (0 disables)")
+	allocFactor := flag.Float64("alloc-factor", 1.5,
+		"one-sided growth factor for allocs/op and B/op; zero baselines are held at zero (0 disables)")
 	flag.Parse()
 
 	if *current == "" {
@@ -186,7 +213,7 @@ func main() {
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		log.Fatalf("benchdiff: bad baseline %s: %v", *baselinePath, err)
 	}
-	fails := compare(&baseline, manifest, *metricTol, *timeFactor)
+	fails := compare(&baseline, manifest, *metricTol, *timeFactor, *allocFactor)
 	if len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", f)

@@ -12,6 +12,7 @@
 //	realsearch -actor 7b -critic 7b -solver parallel-mcmc -chains 8
 //	realsearch -actor 7b -critic 7b -algo remax -progress -save plan.json
 //	realsearch -actor 7b -critic 7b -overlap-cost
+//	realsearch -actor 7b -critic 7b -steps 20000 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"realhf"
@@ -28,6 +31,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a normal return, so the deferred profile writers
+// run even when the chosen plan is infeasible and the command exits non-zero.
+func run() int {
 	log.SetFlags(0)
 	actor := flag.String("actor", "7b", "actor model size (7b, 13b, 34b, 70b)")
 	critic := flag.String("critic", "7b", "critic/reward model size")
@@ -47,7 +56,34 @@ func main() {
 	heuristic := flag.Bool("heuristic", false, "print the heuristic plan instead of searching")
 	progress := flag.Bool("progress", false, "stream best-cost improvements while searching")
 	save := flag.String("save", "", "write the resulting plan to this JSON file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the solve to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile after the solve to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	cfg, err := realhf.PaperExperiment(*algo, "llama"+*actor, "llama"+*critic+"-critic", *nodes, *batch)
 	if err != nil {
@@ -74,7 +110,7 @@ func main() {
 			*actor, *critic, exp.Cluster.NumGPUs(), *algo)
 		fmt.Print(exp.PlanTable())
 		printEstimate(exp)
-		return
+		return 0
 	}
 
 	// Ctrl-C cancels the search mid-flight through the Planner's context
@@ -115,8 +151,9 @@ func main() {
 		}
 	}
 	if exp.Estimate.OOM {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func printEstimate(exp *realhf.Experiment) {

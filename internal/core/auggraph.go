@@ -119,11 +119,12 @@ func (g *AugGraph) CallNode(d *dfg.Node) *AugNode {
 	return nil
 }
 
-// dataBytesPerToken approximates the per-token payload moved between calls:
+// DataBytesPerToken approximates the per-token payload moved between calls:
 // token ids, log-probs, rewards/values — a few scalars per position. The
 // paper observes this traffic is negligible next to parameter reallocation,
-// which our cost model reproduces.
-const dataBytesPerToken = 8
+// which our cost model reproduces. Exported so the estimator's incremental
+// session can rebuild transfer nodes with byte-identical payload sizes.
+const DataBytesPerToken = 8
 
 // BuildAugGraph expands the plan into its augmented dataflow graph:
 //
@@ -223,7 +224,7 @@ func (p *Plan) BuildAugGraph() (*AugGraph, error) {
 				Kind:   KindDataTransfer,
 				Label:  fmt.Sprintf("xfer:%s->%s@%d", par.Name, d.Name, d.Iter),
 				Meshes: []mesh.Mesh{pa.Mesh, a.Mesh},
-				Bytes:  par.Work.TotalTokens() * dataBytesPerToken,
+				Bytes:  par.Work.TotalTokens() * DataBytesPerToken,
 				Src:    pa,
 				Dst:    a,
 			})

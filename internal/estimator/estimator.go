@@ -8,9 +8,9 @@
 package estimator
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"realhf/internal/core"
 	"realhf/internal/dfg"
@@ -102,19 +102,31 @@ func (e *Estimator) NodeDuration(p *core.Plan, n *core.AugNode) (float64, error)
 		}
 		return b.Total() * e.Calib.Factor(n.Call.Name), nil
 	case core.KindParamRealloc:
+		// The cost-only planner is bit-equal to PlanParams(...).Cost(hw) but
+		// skips materializing the op list, which otherwise dominates the
+		// search hot path's allocations. The scratch is pooled because this
+		// method must stay safe for concurrent chains.
 		ms := p.Models[n.Role]
-		sched := realloc.PlanParams(ms.Cfg.NumLayers, ms.Cfg.LayerParamBytes(),
-			n.Src, n.Dst, e.HW.GPUsPerNode)
-		return sched.Cost(e.HW), nil
+		cs := costScratchPool.Get().(*realloc.CostScratch)
+		d := realloc.ParamsCost(cs, ms.Cfg.NumLayers, ms.Cfg.LayerParamBytes(),
+			n.Src, n.Dst, e.HW)
+		costScratchPool.Put(cs)
+		return d, nil
 	case core.KindDataTransfer:
-		sched := realloc.PlanData(n.Bytes, n.Src, n.Dst, e.HW.GPUsPerNode)
-		return sched.Cost(e.HW), nil
+		cs := costScratchPool.Get().(*realloc.CostScratch)
+		d := realloc.DataCost(cs, n.Bytes, n.Src, n.Dst, e.HW)
+		costScratchPool.Put(cs)
+		return d, nil
 	case core.KindOffload:
 		perGPU := n.Bytes / int64(n.Dst.Mesh.NumGPUs())
 		return e.Comm.Offload(perGPU), nil
 	}
 	return 0, fmt.Errorf("estimator: unknown node kind %v", n.Kind)
 }
+
+// costScratchPool recycles the cost-only planners' working storage across
+// NodeDuration calls from concurrent search chains.
+var costScratchPool = sync.Pool{New: func() any { return new(realloc.CostScratch) }}
 
 // ScheduledNode is one entry of the simulated timeline.
 type ScheduledNode struct {
@@ -168,7 +180,12 @@ func ModelStateUtilization(p *core.Plan) float64 {
 	return float64(state) / total
 }
 
-// readyQueue orders nodes by ReadyTime (Algorithm 1's priority queue).
+// readyQueue orders nodes by ReadyTime (Algorithm 1's priority queue). The
+// sift operations replicate container/heap's up/down exactly — same strict
+// comparisons, same swap order — so equal-ready ties pop in the identical
+// order the historical heap produced, keeping golden plans byte-stable. The
+// hand-rolled form exists to avoid container/heap's interface boxing, which
+// allocated on every push and pop in the search hot loop.
 type readyItem struct {
 	id    int
 	ready float64
@@ -176,15 +193,41 @@ type readyItem struct {
 
 type readyQueue []readyItem
 
-func (q readyQueue) Len() int           { return len(q) }
-func (q readyQueue) Less(i, j int) bool { return q[i].ready < q[j].ready }
-func (q readyQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *readyQueue) Push(x any)        { *q = append(*q, x.(readyItem)) }
-func (q *readyQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+func (q *readyQueue) push(it readyItem) {
+	*q = append(*q, it)
+	s := *q
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].ready < s[i].ready) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (q *readyQueue) pop() readyItem {
+	s := *q
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].ready < s[j].ready {
+			j = j2
+		}
+		if !(s[j].ready < s[i].ready) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*q = s[:n]
 	return it
 }
 
@@ -272,35 +315,59 @@ func (e *Estimator) validateMeshes(g *core.AugGraph) error {
 // (core.Kind.CommLike) only serialize against other communication on the
 // same device, mirroring the runtime engine's per-worker streams.
 func simulate(g *core.AugGraph, durations []float64, numGPUs int, overlap bool) ([]ScheduledNode, float64) {
-	indeg := make([]int, len(g.Nodes))
-	readyAt := make([]float64, len(g.Nodes))
-	for _, n := range g.Nodes {
-		indeg[n.ID] = len(n.Parents)
+	var sc simScratch
+	timeline := make([]ScheduledNode, 0, len(g.Nodes))
+	makespan := sc.run(g.Nodes, durations, numGPUs, overlap, &timeline)
+	return timeline, makespan
+}
+
+// simScratch holds the backing arrays of one Algorithm 1 run so repeated
+// simulations (the incremental EvalSession's hot loop) reuse them instead of
+// reallocating per evaluation. A scratch is single-goroutine state.
+type simScratch struct {
+	indeg   []int
+	readyAt []float64
+	lastEnd []float64
+	q       readyQueue
+}
+
+// run executes Algorithm 1 over nodes (indexed by dense node IDs) and returns
+// the makespan. When timeline is non-nil the full schedule is appended to it.
+// The scheduling order — heap tie-breaks included — is byte-identical to the
+// historical simulate.
+func (sc *simScratch) run(nodes []*core.AugNode, durations []float64, numGPUs int, overlap bool, timeline *[]ScheduledNode) float64 {
+	sc.indeg = growInts(sc.indeg, len(nodes))
+	sc.readyAt = growFloats(sc.readyAt, len(nodes))
+	for _, n := range nodes {
+		// Node IDs are dense, so this writes every indeg slot; readyAt must
+		// be cleared explicitly.
+		sc.indeg[n.ID] = len(n.Parents)
+		sc.readyAt[n.ID] = 0
 	}
 	lanes := 1
 	if overlap {
 		lanes = 2
 	}
-	lastEnd := make([]float64, numGPUs*lanes)
-	laneOf := func(n *core.AugNode) int {
-		if overlap && n.Kind.CommLike() {
-			return 1
-		}
-		return 0
+	sc.lastEnd = growFloats(sc.lastEnd, numGPUs*lanes)
+	for i := range sc.lastEnd {
+		sc.lastEnd[i] = 0
 	}
+	indeg, readyAt, lastEnd := sc.indeg, sc.readyAt, sc.lastEnd
 
-	var q readyQueue
-	for _, n := range g.Nodes {
+	q := sc.q[:0]
+	for _, n := range nodes {
 		if indeg[n.ID] == 0 {
-			heap.Push(&q, readyItem{id: n.ID, ready: 0})
+			q.push(readyItem{id: n.ID, ready: 0})
 		}
 	}
-	timeline := make([]ScheduledNode, 0, len(g.Nodes))
 	var makespan float64
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(readyItem)
-		n := g.Nodes[it.id]
-		lane := laneOf(n)
+	for len(q) > 0 {
+		it := q.pop()
+		n := nodes[it.id]
+		lane := 0
+		if overlap && n.Kind.CommLike() {
+			lane = 1
+		}
 		start := it.ready
 		// Mesh bounds were validated against the cluster when the augmented
 		// graph was built, so the lane indexing needs no clamp.
@@ -317,7 +384,9 @@ func simulate(g *core.AugGraph, durations []float64, numGPUs int, overlap bool) 
 				lastEnd[gpu*lanes+lane] = end
 			}
 		}
-		timeline = append(timeline, ScheduledNode{Node: n, Start: start, End: end, Duration: durations[it.id]})
+		if timeline != nil {
+			*timeline = append(*timeline, ScheduledNode{Node: n, Start: start, End: end, Duration: durations[it.id]})
+		}
 		if end > makespan {
 			makespan = end
 		}
@@ -327,11 +396,28 @@ func simulate(g *core.AugGraph, durations []float64, numGPUs int, overlap bool) 
 			}
 			indeg[c]--
 			if indeg[c] == 0 {
-				heap.Push(&q, readyItem{id: c, ready: readyAt[c]})
+				q.push(readyItem{id: c, ready: readyAt[c]})
 			}
 		}
 	}
-	return timeline, makespan
+	sc.q = q[:0]
+	return makespan
+}
+
+// growInts and growFloats return s resized to n, reusing the backing array
+// when it is large enough. Contents are unspecified; callers overwrite.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // StaticPerGPU returns each device's resting memory: the static footprint of

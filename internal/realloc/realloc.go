@@ -1,8 +1,6 @@
 package realloc
 
 import (
-	"sort"
-
 	"realhf/internal/core"
 	"realhf/internal/gpumodel"
 	"realhf/internal/hardware"
@@ -65,10 +63,30 @@ func (s Schedule) BusyPerGPU(hw hardware.Cluster) map[int]float64 {
 
 // Cost estimates the schedule's wall time on a cluster: the schedule
 // finishes when the busiest GPU does — sources broadcast in parallel, as in
-// the paper.
+// the paper. Busy times accumulate exactly as in BusyPerGPU (same op order,
+// same additions), into a flat per-GPU array rather than a map: Cost sits on
+// the plan search's node-costing hot path, where the map dominated the
+// allocation profile.
 func (s Schedule) Cost(hw hardware.Cluster) float64 {
+	comm := gpumodel.Comm{HW: hw}
+	busy := make([]float64, hw.NumGPUs())
+	for _, op := range s.Ops {
+		cross := false
+		srcNode := op.SrcGPU / hw.GPUsPerNode
+		for _, d := range op.DstGPUs {
+			if d/hw.GPUsPerNode != srcNode {
+				cross = true
+				break
+			}
+		}
+		t := comm.Broadcast(op.Bytes, cross)
+		busy[op.SrcGPU] += t
+		for _, d := range op.DstGPUs {
+			busy[d] += t
+		}
+	}
 	var max float64
-	for _, t := range s.BusyPerGPU(hw) {
+	for _, t := range busy {
 		if t > max {
 			max = t
 		}
@@ -78,6 +96,124 @@ func (s Schedule) Cost(hw hardware.Cluster) float64 {
 
 // nodeOf returns the host index of a GPU.
 func nodeOf(gpu, gpusPerNode int) int { return gpu / gpusPerNode }
+
+// srcDst is one destination GPU's choice of source replica.
+type srcDst struct{ src, dst int }
+
+// pairScratch holds the per-cell working storage of the matching loops. The
+// planners allocate one per schedule and reuse it across every (tp, tp) or
+// (dp, dp) cell, replacing the per-cell slice+map+sort churn that dominated
+// the estimator's allocation profile.
+type pairScratch struct {
+	srcs  []int
+	dstg  []int
+	pairs []srcDst
+}
+
+func (ps *pairScratch) reset(nsrcs, ndsts int) {
+	if cap(ps.srcs) < nsrcs {
+		ps.srcs = make([]int, nsrcs)
+	}
+	ps.srcs = ps.srcs[:nsrcs]
+	if cap(ps.dstg) < ndsts {
+		ps.dstg = make([]int, ndsts)
+	}
+	ps.dstg = ps.dstg[:ndsts]
+	ps.pairs = ps.pairs[:0]
+}
+
+// chooseSources runs one cell's matching: every destination GPU in dstg
+// picks its cheapest source replica from srcs (resident ≺ same node ≺
+// remote, first minimum wins); non-local choices are collected as sorted
+// (src, dst) pairs and destinations already holding the piece are counted
+// as local.
+func (ps *pairScratch) chooseSources(gpusPerNode int) (local int) {
+	for _, dgpu := range ps.dstg {
+		best, bestCost := ps.srcs[0], commCost(ps.srcs[0], dgpu, gpusPerNode)
+		for _, s := range ps.srcs[1:] {
+			if c := commCost(s, dgpu, gpusPerNode); c < bestCost {
+				best, bestCost = s, c
+			}
+		}
+		if best == dgpu {
+			local++
+			continue
+		}
+		ps.pairs = append(ps.pairs, srcDst{src: best, dst: dgpu})
+	}
+	ps.sortPairs()
+	return local
+}
+
+// sortPairs orders (src, dst) pairs lexicographically — the same order the
+// map-based matching produced via sorted source keys and sorted destination
+// lists. Pairs are distinct (each destination GPU appears once per cell), so
+// insertion sort is deterministic; it is used over sort.Slice to keep the
+// hot path comparison-closure and allocation free.
+func (ps *pairScratch) sortPairs() {
+	pairs := ps.pairs
+	for i := 1; i < len(pairs); i++ {
+		p := pairs[i]
+		j := i - 1
+		for j >= 0 && (pairs[j].src > p.src || (pairs[j].src == p.src && pairs[j].dst > p.dst)) {
+			pairs[j+1] = pairs[j]
+			j--
+		}
+		pairs[j+1] = p
+	}
+}
+
+// emitOps appends one broadcast per run of pairs sharing a source. Pairs
+// must already be sorted by (src, dst).
+func (ps *pairScratch) emitOps(sched *Schedule, pieceBytes int64, lo, hi, cLo, cHi, den int) {
+	pairs := ps.pairs
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].src == pairs[i].src {
+			j++
+		}
+		dsts := make([]int, 0, j-i)
+		for _, pr := range pairs[i:j] {
+			dsts = append(dsts, pr.dst)
+		}
+		sched.Ops = append(sched.Ops, Op{
+			SrcGPU: pairs[i].src, DstGPUs: dsts, Bytes: pieceBytes,
+			LayerLo: lo, LayerHi: hi,
+			ChunkLo: cLo, ChunkHi: cHi, ChunkDen: den,
+		})
+		i = j
+	}
+}
+
+// accumBusy charges one cell's broadcasts directly to per-GPU busy time,
+// mirroring emitOps followed by Schedule.Cost: one broadcast per run of
+// pairs sharing a source, costed cross-node when any destination lives on a
+// different host, added to the source and every destination in op order.
+// Pairs must already be sorted by (src, dst).
+func (ps *pairScratch) accumBusy(busy []float64, comm gpumodel.Comm, pieceBytes int64, gpusPerNode int) {
+	pairs := ps.pairs
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].src == pairs[i].src {
+			j++
+		}
+		src := pairs[i].src
+		cross := false
+		srcNode := src / gpusPerNode
+		for _, pr := range pairs[i:j] {
+			if pr.dst/gpusPerNode != srcNode {
+				cross = true
+				break
+			}
+		}
+		t := comm.Broadcast(pieceBytes, cross)
+		busy[src] += t
+		for _, pr := range pairs[i:j] {
+			busy[pr.dst] += t
+		}
+		i = j
+	}
+}
 
 // commCost ranks candidate sources for a destination: resident (same GPU) ≺
 // same node ≺ remote.
@@ -97,6 +233,7 @@ func commCost(src, dst, gpusPerNode int) int {
 // (paper Fig. 6).
 func PlanParams(layers int, layerBytes int64, src, dst core.Assignment, gpusPerNode int) Schedule {
 	var sched Schedule
+	var scratch pairScratch
 	ss, ds := src.Strategy, dst.Strategy
 
 	// Outer loop: pipeline stage pairs with intersecting layer ranges.
@@ -111,7 +248,7 @@ func PlanParams(layers int, layerBytes int64, src, dst core.Assignment, gpusPerN
 			if lo >= hi {
 				continue
 			}
-			planStagePair(&sched, src, dst, i, j, lo, hi, layerBytes, gpusPerNode)
+			planStagePair(&sched, &scratch, src, dst, i, j, lo, hi, layerBytes, gpusPerNode)
 		}
 	}
 	return sched
@@ -119,7 +256,7 @@ func PlanParams(layers int, layerBytes int64, src, dst core.Assignment, gpusPerN
 
 // planStagePair is the inner loop: remap the (dp×tp) grid of source stage i
 // onto destination stage j for the common layers [lo, hi).
-func planStagePair(sched *Schedule, src, dst core.Assignment, i, j, lo, hi int, layerBytes int64, gpusPerNode int) {
+func planStagePair(sched *Schedule, scratch *pairScratch, src, dst core.Assignment, i, j, lo, hi int, layerBytes int64, gpusPerNode int) {
 	ss, ds := src.Strategy, dst.Strategy
 	den := lcm(ss.TP, ds.TP)
 	sw := den / ss.TP // sub-chunks per source partition
@@ -137,45 +274,27 @@ func planStagePair(sched *Schedule, src, dst core.Assignment, i, j, lo, hi int, 
 				continue
 			}
 			pieceBytes := bytesPerChunk * int64(cHi-cLo)
-
-			// Candidate sources: the DP replicas of (stage i, tp stp).
-			srcs := make([]int, ss.DP)
-			for sdp := 0; sdp < ss.DP; sdp++ {
-				srcs[sdp] = GPUOf(src.Mesh, ss, i, sdp, stp)
-			}
-
-			// Each destination replica picks the cheapest source.
-			bySrc := map[int][]int{}
-			for ddp := 0; ddp < ds.DP; ddp++ {
-				dgpu := GPUOf(dst.Mesh, ds, j, ddp, dtp)
-				best, bestCost := srcs[0], commCost(srcs[0], dgpu, gpusPerNode)
-				for _, s := range srcs[1:] {
-					if c := commCost(s, dgpu, gpusPerNode); c < bestCost {
-						best, bestCost = s, c
-					}
-				}
-				if best == dgpu {
-					sched.LocalBytes += pieceBytes
-					continue
-				}
-				bySrc[best] = append(bySrc[best], dgpu)
-			}
-			srcOrder := make([]int, 0, len(bySrc))
-			for s := range bySrc {
-				srcOrder = append(srcOrder, s)
-			}
-			sort.Ints(srcOrder)
-			for _, s := range srcOrder {
-				dsts := bySrc[s]
-				sort.Ints(dsts)
-				sched.Ops = append(sched.Ops, Op{
-					SrcGPU: s, DstGPUs: dsts, Bytes: pieceBytes,
-					LayerLo: lo, LayerHi: hi,
-					ChunkLo: cLo, ChunkHi: cHi, ChunkDen: den,
-				})
-			}
+			local := matchParamsCell(scratch, src, dst, i, j, stp, dtp, gpusPerNode)
+			sched.LocalBytes += int64(local) * pieceBytes
+			scratch.emitOps(sched, pieceBytes, lo, hi, cLo, cHi, den)
 		}
 	}
+}
+
+// matchParamsCell fills scratch with one (stp, dtp) cell's matching for a
+// parameter reallocation: sources are the DP replicas of (source stage i,
+// tp rank stp), destinations the DP replicas of (destination stage j, tp
+// rank dtp). Returns the number of destinations already holding the piece.
+func matchParamsCell(scratch *pairScratch, src, dst core.Assignment, i, j, stp, dtp, gpusPerNode int) int {
+	ss, ds := src.Strategy, dst.Strategy
+	scratch.reset(ss.DP, ds.DP)
+	for sdp := 0; sdp < ss.DP; sdp++ {
+		scratch.srcs[sdp] = GPUOf(src.Mesh, ss, i, sdp, stp)
+	}
+	for ddp := 0; ddp < ds.DP; ddp++ {
+		scratch.dstg[ddp] = GPUOf(dst.Mesh, ds, j, ddp, dtp)
+	}
+	return scratch.chooseSources(gpusPerNode)
 }
 
 // PlanData builds the broadcast schedule moving intermediate data between
@@ -186,6 +305,7 @@ func planStagePair(sched *Schedule, src, dst core.Assignment, i, j, lo, hi int, 
 // consumer's first stage, replicated across its TP group.
 func PlanData(totalBytes int64, src, dst core.Assignment, gpusPerNode int) Schedule {
 	var sched Schedule
+	var scratch pairScratch
 	ss, ds := src.Strategy, dst.Strategy
 	den := lcm(ss.DP, ds.DP)
 	sw := den / ss.DP
@@ -200,42 +320,125 @@ func PlanData(totalBytes int64, src, dst core.Assignment, gpusPerNode int) Sched
 				continue
 			}
 			pieceBytes := bytesPerChunk * int64(cHi-cLo)
-			// Candidate sources: TP replicas of the producer's last stage.
-			srcs := make([]int, ss.TP)
-			for stp := 0; stp < ss.TP; stp++ {
-				srcs[stp] = GPUOf(src.Mesh, ss, ss.PP-1, sdp, stp)
-			}
-			bySrc := map[int][]int{}
-			for dtp := 0; dtp < ds.TP; dtp++ {
-				dgpu := GPUOf(dst.Mesh, ds, 0, ddp, dtp)
-				best, bestCost := srcs[0], commCost(srcs[0], dgpu, gpusPerNode)
-				for _, s := range srcs[1:] {
-					if c := commCost(s, dgpu, gpusPerNode); c < bestCost {
-						best, bestCost = s, c
-					}
-				}
-				if best == dgpu {
-					sched.LocalBytes += pieceBytes
-					continue
-				}
-				bySrc[best] = append(bySrc[best], dgpu)
-			}
-			srcOrder := make([]int, 0, len(bySrc))
-			for s := range bySrc {
-				srcOrder = append(srcOrder, s)
-			}
-			sort.Ints(srcOrder)
-			for _, s := range srcOrder {
-				dsts := bySrc[s]
-				sort.Ints(dsts)
-				sched.Ops = append(sched.Ops, Op{
-					SrcGPU: s, DstGPUs: dsts, Bytes: pieceBytes,
-					ChunkLo: cLo, ChunkHi: cHi, ChunkDen: den,
-				})
-			}
+			local := matchDataCell(&scratch, src, dst, sdp, ddp, gpusPerNode)
+			sched.LocalBytes += int64(local) * pieceBytes
+			scratch.emitOps(&sched, pieceBytes, 0, 0, cLo, cHi, den)
 		}
 	}
 	return sched
+}
+
+// matchDataCell fills scratch with one (sdp, ddp) cell's matching for a
+// data transfer: sources are the TP replicas of the producer's last stage
+// at dp rank sdp (function outputs are DP-partitioned and TP-replicated),
+// destinations the TP group of the consumer's first stage at dp rank ddp.
+// Returns the number of destinations already holding the piece.
+func matchDataCell(scratch *pairScratch, src, dst core.Assignment, sdp, ddp, gpusPerNode int) int {
+	ss, ds := src.Strategy, dst.Strategy
+	scratch.reset(ss.TP, ds.TP)
+	for stp := 0; stp < ss.TP; stp++ {
+		scratch.srcs[stp] = GPUOf(src.Mesh, ss, ss.PP-1, sdp, stp)
+	}
+	for dtp := 0; dtp < ds.TP; dtp++ {
+		scratch.dstg[dtp] = GPUOf(dst.Mesh, ds, 0, ddp, dtp)
+	}
+	return scratch.chooseSources(gpusPerNode)
+}
+
+// CostScratch is the reusable working storage of the cost-only planners.
+// The zero value is ready to use; callers on the estimator's hot path keep
+// one alive across calls so steady-state costing does not allocate.
+type CostScratch struct {
+	pair pairScratch
+	busy []float64
+}
+
+func (cs *CostScratch) resetBusy(n int) {
+	if cap(cs.busy) < n {
+		cs.busy = make([]float64, n)
+		return
+	}
+	cs.busy = cs.busy[:n]
+	for i := range cs.busy {
+		cs.busy[i] = 0
+	}
+}
+
+func maxBusy(busy []float64) float64 {
+	var max float64
+	for _, t := range busy {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// ParamsCost returns PlanParams(...).Cost(hw) without materializing the
+// schedule: it runs the same stage-pair matching and charges each broadcast
+// to per-GPU busy time directly (identical arithmetic in identical order,
+// so the result is bit-equal). The estimator costs every candidate
+// reallocation this way; the op list is only built when a schedule is
+// actually executed or inspected.
+func ParamsCost(cs *CostScratch, layers int, layerBytes int64, src, dst core.Assignment, hw hardware.Cluster) float64 {
+	cs.resetBusy(hw.NumGPUs())
+	comm := gpumodel.Comm{HW: hw}
+	ss, ds := src.Strategy, dst.Strategy
+	for j := 0; j < ds.PP; j++ {
+		dLo, dHi := StageLayers(layers, ds, j)
+		if dLo >= dHi {
+			continue
+		}
+		for i := 0; i < ss.PP; i++ {
+			sLo, sHi := StageLayers(layers, ss, i)
+			lo, hi := maxInt(dLo, sLo), minInt(dHi, sHi)
+			if lo >= hi {
+				continue
+			}
+			den := lcm(ss.TP, ds.TP)
+			sw := den / ss.TP
+			dw := den / ds.TP
+			bytesPerChunk := int64(hi-lo) * layerBytes / int64(den)
+			for dtp := 0; dtp < ds.TP; dtp++ {
+				dChunkLo, dChunkHi := dtp*dw, (dtp+1)*dw
+				for stp := 0; stp < ss.TP; stp++ {
+					cLo, cHi := maxInt(dChunkLo, stp*sw), minInt(dChunkHi, (stp+1)*sw)
+					if cLo >= cHi {
+						continue
+					}
+					pieceBytes := bytesPerChunk * int64(cHi-cLo)
+					matchParamsCell(&cs.pair, src, dst, i, j, stp, dtp, hw.GPUsPerNode)
+					cs.pair.accumBusy(cs.busy, comm, pieceBytes, hw.GPUsPerNode)
+				}
+			}
+		}
+	}
+	return maxBusy(cs.busy)
+}
+
+// DataCost returns PlanData(...).Cost(hw) without materializing the
+// schedule, exactly as ParamsCost mirrors PlanParams.
+func DataCost(cs *CostScratch, totalBytes int64, src, dst core.Assignment, hw hardware.Cluster) float64 {
+	cs.resetBusy(hw.NumGPUs())
+	comm := gpumodel.Comm{HW: hw}
+	ss, ds := src.Strategy, dst.Strategy
+	den := lcm(ss.DP, ds.DP)
+	sw := den / ss.DP
+	dw := den / ds.DP
+	bytesPerChunk := totalBytes / int64(den)
+	for ddp := 0; ddp < ds.DP; ddp++ {
+		dChunkLo, dChunkHi := ddp*dw, (ddp+1)*dw
+		for sdp := 0; sdp < ss.DP; sdp++ {
+			cLo, cHi := maxInt(dChunkLo, sdp*sw), minInt(dChunkHi, (sdp+1)*sw)
+			if cLo >= cHi {
+				continue
+			}
+			pieceBytes := bytesPerChunk * int64(cHi-cLo)
+			matchDataCell(&cs.pair, src, dst, sdp, ddp, hw.GPUsPerNode)
+			cs.pair.accumBusy(cs.busy, comm, pieceBytes, hw.GPUsPerNode)
+		}
+	}
+	return maxBusy(cs.busy)
 }
 
 // SwitchCost prices a whole-plan switch exactly as §5 prices parameter

@@ -266,6 +266,43 @@ func TestScheduleTotalBytes(t *testing.T) {
 	}
 }
 
+// Property: the cost-only planners are bit-equal to building the full
+// schedule and costing it — the contract that lets the estimator's hot path
+// skip materializing op lists.
+func TestCostOnlyPlannersMatchSchedules(t *testing.T) {
+	layouts := []core.Assignment{
+		asgn(t, 0, 8, 8, parallel.Strategy{DP: 4, TP: 2, PP: 1, MicroBatches: 1}),
+		asgn(t, 0, 8, 8, parallel.Strategy{DP: 1, TP: 8, PP: 1, MicroBatches: 1}),
+		asgn(t, 0, 8, 8, parallel.Strategy{DP: 1, TP: 2, PP: 4, MicroBatches: 1}),
+		asgn(t, 8, 8, 8, parallel.Strategy{DP: 2, TP: 2, PP: 2, MicroBatches: 1}),
+		asgn(t, 0, 16, 8, parallel.Strategy{DP: 2, TP: 4, PP: 2, MicroBatches: 1}),
+		asgn(t, 0, 4, 8, parallel.Strategy{DP: 2, TP: 2, PP: 1, MicroBatches: 1}),
+		asgn(t, 4, 4, 8, parallel.Strategy{DP: 1, TP: 4, PP: 1, MicroBatches: 1}),
+	}
+	hw := hardware.DefaultCluster(2)
+	var cs CostScratch
+	f := func(i, j, l uint8) bool {
+		src := layouts[int(i)%len(layouts)]
+		dst := layouts[int(j)%len(layouts)]
+		layers := 8 * (int(l)%4 + 1)
+		wantP := PlanParams(layers, 1<<20, src, dst, hw.GPUsPerNode).Cost(hw)
+		if got := ParamsCost(&cs, layers, 1<<20, src, dst, hw); got != wantP {
+			t.Errorf("ParamsCost(%v->%v, %d layers) = %v, schedule cost %v", src, dst, layers, got, wantP)
+			return false
+		}
+		total := int64(layers) * (1 << 18)
+		wantD := PlanData(total, src, dst, hw.GPUsPerNode).Cost(hw)
+		if got := DataCost(&cs, total, src, dst, hw); got != wantD {
+			t.Errorf("DataCost(%v->%v, %d bytes) = %v, schedule cost %v", src, dst, total, got, wantD)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: redistribution coverage holds for random legal layout pairs on
 // a 2-node cluster.
 func TestPlanParamsCoverageProperty(t *testing.T) {

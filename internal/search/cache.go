@@ -35,6 +35,15 @@ type CostCache struct {
 	nodeMu sync.RWMutex
 	nodes  map[string]float64
 
+	// costs is the compact plan-cost index: the PlanCost summary of every
+	// plan scored through the solvers' incremental sessions, keyed exactly
+	// like plans (fingerprint plus semantics prefix). It is deliberately
+	// separate from plans — the hot path never materializes timelines, and
+	// full Results are only built for chosen plans — but both levels count
+	// into the same hit/miss statistics.
+	costMu sync.RWMutex
+	costs  map[string]estimator.PlanCost
+
 	hits, misses atomic.Int64
 }
 
@@ -43,6 +52,7 @@ func NewCostCache() *CostCache {
 	return &CostCache{
 		plans: make(map[string]*estimator.Result),
 		nodes: make(map[string]float64),
+		costs: make(map[string]estimator.PlanCost),
 	}
 }
 
@@ -66,11 +76,14 @@ func (c *CostCache) Len() int {
 	return len(c.plans)
 }
 
-// nodeKey canonically encodes one augmented-graph node's cost inputs. Node
-// durations depend only on these inputs (the estimator's NodeDuration is
-// pure), so the key is safe across plans and chains within one problem.
-func nodeKey(n *core.AugNode) string {
-	b := make([]byte, 0, 64)
+// appendNodeKey canonically encodes one augmented-graph node's cost inputs
+// into b. Node durations depend only on these inputs (the estimator's
+// NodeDuration is pure), so the key is safe across plans and chains within
+// one problem. Call nodes additionally key on the call's current assignment
+// (the plan varies underneath a stable name) and on the estimator's
+// calibration key — profile feedback rescales call durations, so a
+// calibrated estimator must never read (or write) the uncalibrated entries.
+func appendNodeKey(b []byte, e *estimator.Estimator, p *core.Plan, n *core.AugNode) []byte {
 	b = append(b, byte('0'+int(n.Kind)))
 	b = append(b, '|')
 	switch n.Kind {
@@ -78,16 +91,24 @@ func nodeKey(n *core.AugNode) string {
 		// Within one problem a call name fixes (role, type, workload); the
 		// duration is iteration-independent, so iterations share entries.
 		b = append(b, n.Call.Name...)
+		if a, ok := p.AssignmentOf(n.Call); ok {
+			b = append(b, '@')
+			b = a.AppendFingerprint(b)
+		}
+		if ck := e.CalibrationKey(); ck != "" {
+			b = append(b, "|calib="...)
+			b = append(b, ck...)
+		}
 	default:
 		b = append(b, string(n.Role)...)
 		b = append(b, '#')
 		b = appendInt64(b, n.Bytes)
 		b = append(b, '#')
-		b = append(b, n.Src.Fingerprint()...)
+		b = n.Src.AppendFingerprint(b)
 		b = append(b, '>')
-		b = append(b, n.Dst.Fingerprint()...)
+		b = n.Dst.AppendFingerprint(b)
 	}
-	return string(b)
+	return b
 }
 
 func appendInt64(b []byte, v int64) []byte {
@@ -105,34 +126,74 @@ func appendInt64(b []byte, v int64) []byte {
 }
 
 // nodeDuration memoizes one node's duration, delegating to the estimator on
-// miss. Call nodes additionally key on the call's current assignment (the
-// plan varies underneath a stable name) and on the estimator's calibration
-// key — profile feedback rescales call durations, so a calibrated estimator
-// must never read (or write) the uncalibrated entries.
+// miss.
 func (c *CostCache) nodeDuration(e *estimator.Estimator, p *core.Plan, n *core.AugNode) (float64, error) {
-	key := nodeKey(n)
-	if n.Kind == core.KindCall {
-		if a, ok := p.AssignmentOf(n.Call); ok {
-			key += "@" + a.Fingerprint()
-		}
-		if ck := e.CalibrationKey(); ck != "" {
-			key += "|calib=" + ck
-		}
-	}
+	d, _, err := c.nodeDurationBuf(e, p, n, nil)
+	return d, err
+}
+
+// nodeDurationBuf is nodeDuration with a caller-owned key buffer: the key is
+// assembled in buf (grown as needed and returned for reuse), the lookup's
+// string conversion does not allocate, and a string is only materialized
+// when a computed duration is stored. Chain-local DurationFunc closures use
+// it so steady-state lookups stay allocation-free.
+func (c *CostCache) nodeDurationBuf(e *estimator.Estimator, p *core.Plan, n *core.AugNode, buf []byte) (float64, []byte, error) {
+	buf = appendNodeKey(buf[:0], e, p, n)
 	c.nodeMu.RLock()
-	d, ok := c.nodes[key]
+	d, ok := c.nodes[string(buf)]
 	c.nodeMu.RUnlock()
 	if ok {
-		return d, nil
+		return d, buf, nil
 	}
 	d, err := e.NodeDuration(p, n)
 	if err != nil {
-		return 0, err
+		return 0, buf, err
 	}
 	c.nodeMu.Lock()
-	c.nodes[key] = d
+	c.nodes[string(buf)] = d
 	c.nodeMu.Unlock()
-	return d, nil
+	return d, buf, nil
+}
+
+// planCost looks up the compact plan-cost index. The key is a byte slice so
+// chain-local evaluators can assemble it in a reusable buffer; the map
+// lookup's string conversion does not allocate. Counts into the plan-level
+// hit/miss statistics.
+func (c *CostCache) planCost(key []byte) (estimator.PlanCost, bool) {
+	c.costMu.RLock()
+	pc, ok := c.costs[string(key)]
+	c.costMu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return pc, ok
+}
+
+// storePlanCost records a compact plan cost computed on miss. Concurrent
+// chains may race to fill the same key; evaluation is deterministic, so the
+// values are identical and the last write wins.
+func (c *CostCache) storePlanCost(key []byte, pc estimator.PlanCost) {
+	c.costMu.Lock()
+	c.costs[string(key)] = pc
+	c.costMu.Unlock()
+}
+
+// DurationFunc adapts the cache's node-level memo to the estimator's
+// DurationFunc shape — the shared fallback incremental EvalSessions consult
+// on session-local misses, so node durations cross chains and solver
+// invocations exactly as they do on the full evaluation path (including
+// CalibrationKey isolation for call nodes). The returned closure owns a key
+// buffer and is therefore single-goroutine, like the session it backs; the
+// cache underneath remains safely shared.
+func (c *CostCache) DurationFunc(e *estimator.Estimator) estimator.DurationFunc {
+	var buf []byte
+	return func(p *core.Plan, n *core.AugNode) (float64, error) {
+		d, b, err := c.nodeDurationBuf(e, p, n, buf)
+		buf = b
+		return d, err
+	}
 }
 
 // Evaluate returns the memoized estimate of the plan, computing and caching

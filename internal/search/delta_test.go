@@ -1,0 +1,142 @@
+package search
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"realhf/internal/core"
+	"realhf/internal/estimator"
+	"realhf/internal/model"
+)
+
+// deltaVariants spans the cost-semantics matrix the incremental session must
+// reproduce bit for bit: both overlap modes, with and without profile
+// calibration.
+func deltaVariants(t *testing.T, e *estimator.Estimator) map[string]*estimator.Estimator {
+	t.Helper()
+	calib := estimator.NewCalibration(map[string]float64{
+		"ActorGen": 1.7, "CriticTrain": 0.8,
+	})
+	if calib == nil {
+		t.Fatal("calibration unexpectedly nil")
+	}
+	out := map[string]*estimator.Estimator{}
+	for _, overlap := range []bool{false, true} {
+		for _, c := range []*estimator.Calibration{nil, calib} {
+			ev := *e
+			ev.OverlapComm = overlap
+			ev.Calib = c
+			name := "serial"
+			if overlap {
+				name = "overlap"
+			}
+			if c != nil {
+				name += "+calib"
+			}
+			out[name] = &ev
+		}
+	}
+	return out
+}
+
+// mutatePlans drives one (session, estimator) pair through a randomized
+// mutation walk: random full re-assignments followed by runs of single-call
+// mutations, asserting after every step that the incremental evaluation
+// equals a from-scratch Estimator.Evaluate field for field, bit for bit.
+// Failures are reported with Errorf (never FailNow), so the walk is safe to
+// run from spawned goroutines.
+func mutatePlans(t *testing.T, e *estimator.Estimator, sess *estimator.EvalSession,
+	p *core.Plan, sets map[string][]core.Assignment, seed int64, trials, muts int) {
+	t.Helper()
+	names := p.CallNames()
+	rng := rand.New(rand.NewSource(seed))
+	plan := p.Clone()
+	for trial := 0; trial < trials; trial++ {
+		for _, n := range names {
+			cs := sets[n]
+			plan.Assign[n] = cs[rng.Intn(len(cs))]
+		}
+		for mut := 0; mut < muts; mut++ {
+			if mut > 0 {
+				n := names[rng.Intn(len(names))]
+				cs := sets[n]
+				plan.Assign[n] = cs[rng.Intn(len(cs))]
+			}
+			got, err := sess.Evaluate(plan)
+			if err != nil {
+				t.Errorf("trial %d mut %d: session: %v", trial, mut, err)
+				return
+			}
+			full, err := e.Evaluate(plan)
+			if err != nil {
+				t.Errorf("trial %d mut %d: full: %v", trial, mut, err)
+				return
+			}
+			if want := estimator.CostOf(full); got != want {
+				t.Errorf("trial %d mut %d: delta re-costing diverged from full Evaluate:\n got %+v\nwant %+v\nplan %s",
+					trial, mut, got, want, plan.Fingerprint())
+				return
+			}
+		}
+	}
+}
+
+// TestDeltaCostingMatchesFullEvaluate is the incremental-costing contract's
+// differential property test: under every cost semantics, a session fed
+// randomized plans and single-RPC mutations returns exactly what a
+// from-scratch evaluation returns.
+func TestDeltaCostingMatchesFullEvaluate(t *testing.T) {
+	p, e := newProblem(t, 1, model.LLaMA7B, model.LLaMA7B, 64, 256, 256)
+	sets, _, err := candidateSets(p, PruneNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ev := range deltaVariants(t, e) {
+		t.Run(name, func(t *testing.T) {
+			cache := NewCostCache()
+			sess := ev.NewSession(cache.DurationFunc(ev))
+			mutatePlans(t, ev, sess, p, sets, 11, 6, 20)
+			if st := sess.Stats(); st.NodeRecosts >= st.NodeLookups {
+				t.Errorf("session never reused a node duration: %+v", st)
+			}
+		})
+	}
+}
+
+// TestDeltaCostingDirectFallback covers the cache-free configuration: a
+// session with a nil fallback (estimator.NodeDuration directly) must agree
+// with full evaluation just the same.
+func TestDeltaCostingDirectFallback(t *testing.T) {
+	p, e := newProblem(t, 2, model.LLaMA7B, model.LLaMA7B, 128, 256, 256)
+	sets, _, err := candidateSets(p, PruneAggressive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := e.NewSession(nil)
+	mutatePlans(t, e, sess, p, sets, 5, 4, 15)
+}
+
+// TestDeltaCostingConcurrentSharedCache runs several sessions on concurrent
+// goroutines against one shared CostCache — the parallel-mcmc topology —
+// each verifying the differential property on its own mutation walk. Run
+// under -race this checks the session/cache concurrency contract: sessions
+// are chain-local, the cache underneath is shared.
+func TestDeltaCostingConcurrentSharedCache(t *testing.T) {
+	p, e := newProblem(t, 1, model.LLaMA7B, model.LLaMA7B, 64, 256, 256)
+	sets, _, err := candidateSets(p, PruneModerate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCostCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			sess := e.NewSession(cache.DurationFunc(e))
+			mutatePlans(t, e, sess, p, sets, seed, 3, 15)
+		}(int64(g + 1))
+	}
+	wg.Wait()
+}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"realhf/internal/core"
-	"realhf/internal/estimator"
 )
 
 // exhaustiveSolver approximates the exhaustive optimum of Fig. 15 on small
@@ -46,11 +45,14 @@ func (exhaustiveSolver) Solve(ctx context.Context, prob Problem, opt Options) (S
 		cache = NewCostCache()
 	}
 	hits0, misses0 := cache.Hits(), cache.Misses()
+	ev := newPlanEvaluator(e, cache, p)
 
 	start := time.Now()
 	best := math.Inf(1)
 	var bestPlan *core.Plan
-	var bestRes *estimator.Result
+	// One trial plan, mutated in place per combination; it is cloned only
+	// when it improves on the best seen so far.
+	trial := p.Clone()
 	idx := make([]int, len(names))
 	steps := 0
 	for {
@@ -59,14 +61,13 @@ func (exhaustiveSolver) Solve(ctx context.Context, prob Problem, opt Options) (S
 			// optimum (Fig. 15 treats the result as ground truth).
 			return Solution{}, Stats{}, fmt.Errorf("search: exhaustive sweep aborted after %d plans: %w", steps, err)
 		}
-		trial := p.Clone()
 		for i, name := range names {
 			trial.Assign[name] = short[i][idx[i]]
 		}
-		if r, err := cache.Evaluate(e, trial); err == nil {
+		if pc, err := ev.cost(trial); err == nil {
 			steps++
-			if r.Cost < best {
-				best, bestPlan, bestRes = r.Cost, trial, r
+			if pc.Cost < best {
+				best, bestPlan = pc.Cost, trial.Clone()
 				if opt.Progress != nil {
 					opt.Progress(ProgressPoint{Elapsed: time.Since(start), Step: steps, BestCost: best})
 				}
@@ -87,6 +88,10 @@ func (exhaustiveSolver) Solve(ctx context.Context, prob Problem, opt Options) (S
 	}
 	if bestPlan == nil {
 		return Solution{}, Stats{}, fmt.Errorf("search: brute force found no feasible plan")
+	}
+	bestRes, err := cache.Evaluate(e, bestPlan)
+	if err != nil {
+		return Solution{}, Stats{}, err
 	}
 	st := Stats{
 		Steps: steps, SpaceLog10: spaceLog10,

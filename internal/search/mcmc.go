@@ -32,10 +32,16 @@ type chainState struct {
 	seed int64
 	rng  *rand.Rand
 
-	cur     *core.Plan
-	curCost float64
-	best    *core.Plan
-	bestRes *estimator.Result
+	// cur is mutated in place by proposals (one assignment re-drawn, undone
+	// on reject); best is a snapshot plan whose assignment map is overwritten
+	// — never reallocated — on improvement. Costs are compact scalars; the
+	// winner's full estimator.Result is materialized once per solve.
+	cur      *core.Plan
+	curCost  float64
+	best     *core.Plan
+	bestCost float64
+
+	ev *planEvaluator
 
 	beta         float64
 	adaptiveBeta bool
@@ -46,6 +52,15 @@ type chainState struct {
 	progress  func(ProgressPoint)
 	done      bool
 	cancelled bool
+}
+
+// copyAssign overwrites dst's assignments with src's without reallocating the
+// map. Both plans of a chain share the same key set (the problem's call
+// names), so no deletion pass is needed.
+func copyAssign(dst, src *core.Plan) {
+	for k, v := range src.Assign {
+		dst.Assign[k] = v
+	}
 }
 
 // record appends a trace point and streams it to the progress callback.
@@ -59,10 +74,12 @@ func (c *chainState) record(pt ProgressPoint) {
 // run advances the chain until its per-chain budget (opt.MaxSteps or
 // opt.TimeLimit, matching the sequential walker's termination rule), the
 // round boundary `until` (0 = none), or ctx cancellation. The proposal loop
-// and RNG consumption order replicate the pre-Solver engine exactly, so a
-// fixed seed reproduces its plan bit for bit.
-func (c *chainState) run(ctx context.Context, ev func(*core.Plan) (*estimator.Result, error),
-	sp *space, opt Options, start time.Time, until int) {
+// and RNG consumption order replicate the pre-Solver engine exactly — one
+// Intn per call pick, one per candidate pick, one Float64 only when the
+// Metropolis test is reached — so a fixed seed reproduces its plan bit for
+// bit. Proposals mutate cur in place and undo on reject/error instead of
+// cloning the plan per step.
+func (c *chainState) run(ctx context.Context, sp *space, opt Options, start time.Time, until int) {
 	for {
 		step := c.step + 1
 		if opt.MaxSteps > 0 && step > opt.MaxSteps {
@@ -82,35 +99,40 @@ func (c *chainState) run(ctx context.Context, ev func(*core.Plan) (*estimator.Re
 		}
 		c.step = step
 		// Propose: re-draw one call's assignment uniformly.
-		name := sp.names[c.rng.Intn(len(sp.names))]
-		cands := sp.sets[name]
-		next := c.cur.Clone()
-		next.Assign[name] = cands[c.rng.Intn(len(cands))]
-		nextRes, err := ev(next)
+		ni := c.rng.Intn(len(sp.names))
+		name := sp.names[ni]
+		cands := sp.cands[ni]
+		prev := c.cur.Assign[name]
+		c.cur.Assign[name] = cands[c.rng.Intn(len(cands))]
+		pc, err := c.ev.cost(c.cur)
 		if err != nil {
+			c.cur.Assign[name] = prev
 			continue
 		}
-		accept := nextRes.Cost <= c.curCost ||
-			c.rng.Float64() < math.Exp(-c.beta*(nextRes.Cost-c.curCost))
+		accept := pc.Cost <= c.curCost ||
+			c.rng.Float64() < math.Exp(-c.beta*(pc.Cost-c.curCost))
 		if accept {
-			c.cur, c.curCost = next, nextRes.Cost
+			c.curCost = pc.Cost
 			c.accepted++
-			if nextRes.Cost < c.bestRes.Cost {
-				c.best, c.bestRes = next, nextRes
+			if pc.Cost < c.bestCost {
+				c.bestCost = pc.Cost
+				copyAssign(c.best, c.cur)
 				if c.adaptiveBeta {
 					// Keep the temperature matched to the current cost
 					// scale: an OOM-penalized seed would otherwise leave β
 					// so small that the chain random-walks forever.
-					c.beta = 10 / math.Max(c.bestRes.Cost, 1e-9)
+					c.beta = 10 / math.Max(c.bestCost, 1e-9)
 				}
 				c.record(ProgressPoint{
-					Elapsed: time.Since(start), Step: step, BestCost: c.bestRes.Cost,
+					Elapsed: time.Since(start), Step: step, BestCost: c.bestCost,
 				})
 			}
+		} else {
+			c.cur.Assign[name] = prev
 		}
 		if step%opt.ProgressEvery == 0 {
 			c.record(ProgressPoint{
-				Elapsed: time.Since(start), Step: step, BestCost: c.bestRes.Cost,
+				Elapsed: time.Since(start), Step: step, BestCost: c.bestCost,
 			})
 		}
 	}
@@ -119,22 +141,31 @@ func (c *chainState) run(ctx context.Context, ev func(*core.Plan) (*estimator.Re
 // startState resolves the shared initial plan: the caller-provided
 // InitialPlan or the greedy seed (minimizing over the full pre-shortlist
 // candidate sets, reusing the solver's enumeration), improved by any
-// cheaper SeedCandidates.
-func startState(ev func(*core.Plan) (*estimator.Result, error), e *estimator.Estimator,
-	p *core.Plan, sp *space, opt Options) (*core.Plan, *estimator.Result, error) {
+// cheaper SeedCandidates. All seed evaluations route through the shared
+// cost cache's compact index — a warm-started chain whose seed was already
+// scored (by a previous solve or another solver) pays no re-evaluation.
+// Seeds are Plan.Validated first: the compact path assumes individually
+// legal assignments, and an illegal caller-provided plan must fail (for
+// InitialPlan) or be skipped (for SeedCandidates) exactly as it did when
+// the full evaluator re-validated every plan.
+func startState(ev *planEvaluator, e *estimator.Estimator,
+	p *core.Plan, sp *space, opt Options) (*core.Plan, float64, error) {
 	var cur *core.Plan
 	var err error
 	if opt.InitialPlan != nil {
 		cur = opt.InitialPlan.Clone()
+		if err := cur.Validate(); err != nil {
+			return nil, 0, err
+		}
 	} else {
 		cur, err = greedyFromSets(e, p, sp.fullSets)
 		if err != nil {
-			return nil, nil, err
+			return nil, 0, err
 		}
 	}
-	curRes, err := ev(cur)
+	curPC, err := ev.cost(cur)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, err
 	}
 	// Warm starts: adopt the cheapest of the greedy seed and any candidate
 	// plans the caller supplies.
@@ -142,15 +173,18 @@ func startState(ev func(*core.Plan) (*estimator.Result, error), e *estimator.Est
 		if seed == nil {
 			continue
 		}
-		sr, err := ev(seed)
+		if err := seed.Validate(); err != nil {
+			continue
+		}
+		sr, err := ev.cost(seed)
 		if err != nil {
 			continue
 		}
-		if sr.Cost < curRes.Cost {
-			cur, curRes = seed.Clone(), sr
+		if sr.Cost < curPC.Cost {
+			cur, curPC = seed.Clone(), sr
 		}
 	}
-	return cur, curRes, nil
+	return cur, curPC.Cost, nil
 }
 
 // mcmcSolver is the sequential single-chain Metropolis–Hastings walker —
@@ -200,9 +234,14 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 		cache = NewCostCache()
 	}
 	hits0, misses0 := cache.Hits(), cache.Misses()
-	ev := func(pl *core.Plan) (*estimator.Result, error) { return cache.Evaluate(e, pl) }
+	// One incremental evaluator per chain: sessions are single-goroutine,
+	// and all cross-chain reuse flows through the shared cache.
+	evs := make([]*planEvaluator, chains)
+	for i := range evs {
+		evs[i] = newPlanEvaluator(e, cache, p)
+	}
 
-	cur, curRes, err := startState(ev, e, p, sp, opt)
+	cur, curCost, err := startState(evs[0], e, p, sp, opt)
 	if err != nil {
 		return Solution{}, Stats{}, err
 	}
@@ -226,23 +265,24 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 		seed := chainSeed(opt.Seed, i)
 		beta := opt.Beta
 		if opt.Beta == 0 {
-			beta = 10 / math.Max(curRes.Cost, 1e-9)
+			beta = 10 / math.Max(curCost, 1e-9)
 		}
 		cs[i] = &chainState{
 			idx: i, seed: seed, rng: rand.New(rand.NewSource(seed)),
-			cur: cur.Clone(), curCost: curRes.Cost,
-			best: cur.Clone(), bestRes: curRes,
+			cur: cur.Clone(), curCost: curCost,
+			best: cur.Clone(), bestCost: curCost,
+			ev:   evs[i],
 			beta: beta, adaptiveBeta: opt.Beta == 0,
 			progress: progress,
 		}
 	}
-	initial := ProgressPoint{Elapsed: time.Since(start), Step: 0, BestCost: curRes.Cost}
+	initial := ProgressPoint{Elapsed: time.Since(start), Step: 0, BestCost: curCost}
 	cs[0].record(initial)
 
 	if chains == 1 {
-		cs[0].run(ctx, ev, sp, opt, start, 0)
+		cs[0].run(ctx, sp, opt, start, 0)
 	} else {
-		runExchanging(ctx, cs, ev, sp, opt, start)
+		runExchanging(ctx, cs, sp, opt, start)
 	}
 
 	// Cancellation is an error, not a truncated Solution: a caller that set
@@ -262,9 +302,17 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 	// Deterministic reduction: best cost, ties broken by chain index.
 	winner := cs[0]
 	for _, c := range cs[1:] {
-		if c.bestRes.Cost < winner.bestRes.Cost {
+		if c.bestCost < winner.bestCost {
 			winner = c
 		}
+	}
+
+	// The chains only ever tracked compact costs; materialize the winner's
+	// full Result (timeline, call times) once. Its Cost is bit-identical to
+	// the compact score the chain accepted on.
+	winRes, err := cache.Evaluate(e, winner.best)
+	if err != nil {
+		return Solution{}, Stats{}, err
 	}
 
 	st := Stats{SpaceLog10: sp.spaceLog10,
@@ -276,15 +324,15 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 		st.Accepted += c.accepted
 		st.Chains = append(st.Chains, ChainStats{
 			Chain: c.idx, Seed: c.seed, Proposed: c.step,
-			Accepted: c.accepted, BestCost: c.bestRes.Cost,
+			Accepted: c.accepted, BestCost: c.bestCost,
 		})
 	}
 	if chains == 1 {
 		st.Trace = cs[0].trace
 	} else {
-		st.Trace = mergeTraces(cs, initial, winner.bestRes.Cost, time.Since(start))
+		st.Trace = mergeTraces(cs, initial, winner.bestCost, time.Since(start))
 	}
-	return Solution{Plan: winner.best, Cost: winner.bestRes.Cost, Estimate: winner.bestRes}, st, nil
+	return Solution{Plan: winner.best, Cost: winRes.Cost, Estimate: winRes}, st, nil
 }
 
 // runExchanging drives K chains in lockstep rounds of opt.ExchangeEvery
@@ -293,7 +341,7 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 // Exchanges happen at deterministic step boundaries, so step-bounded runs
 // remain reproducible regardless of goroutine scheduling.
 func runExchanging(ctx context.Context, cs []*chainState,
-	ev func(*core.Plan) (*estimator.Result, error), sp *space, opt Options, start time.Time) {
+	sp *space, opt Options, start time.Time) {
 	for target := 0; ; {
 		target += opt.ExchangeEvery
 		var wg sync.WaitGroup
@@ -306,7 +354,7 @@ func runExchanging(ctx context.Context, cs []*chainState,
 			wg.Add(1)
 			go func(c *chainState) {
 				defer wg.Done()
-				c.run(ctx, ev, sp, opt, start, target)
+				c.run(ctx, sp, opt, start, target)
 			}(c)
 		}
 		wg.Wait()
@@ -323,7 +371,7 @@ func runExchanging(ctx context.Context, cs []*chainState,
 func exchangeBest(cs []*chainState) {
 	g := cs[0]
 	for _, c := range cs[1:] {
-		if c.bestRes.Cost < g.bestRes.Cost {
+		if c.bestCost < g.bestCost {
 			g = c
 		}
 	}
@@ -331,19 +379,22 @@ func exchangeBest(cs []*chainState) {
 		if c.done || c == g {
 			continue
 		}
-		if g.bestRes.Cost < c.curCost {
-			c.cur = g.best.Clone()
-			c.curCost = g.bestRes.Cost
+		if g.bestCost < c.curCost {
+			// The barrier is single-threaded, so adopting in place (no
+			// clones) is safe: every chain goroutine has already joined.
+			copyAssign(c.cur, g.best)
+			c.curCost = g.bestCost
 			// The adopted plan is the best this chain now knows: fold it
 			// into the chain's best and rescale an adaptive temperature to
 			// the new cost scale. Without the rescale a chain seeded at an
 			// OOM-penalized cost keeps β ≈ 10/hugeCost ≈ 0 after adopting a
 			// cheap plan and accepts nearly every uphill proposal for the
 			// rest of the solve.
-			if g.bestRes.Cost < c.bestRes.Cost {
-				c.best, c.bestRes = g.best.Clone(), g.bestRes
+			if g.bestCost < c.bestCost {
+				copyAssign(c.best, g.best)
+				c.bestCost = g.bestCost
 				if c.adaptiveBeta {
-					c.beta = 10 / math.Max(c.bestRes.Cost, 1e-9)
+					c.beta = 10 / math.Max(c.bestCost, 1e-9)
 				}
 			}
 		}

@@ -51,31 +51,31 @@ func TestExchangeRescalesAdaptiveBeta(t *testing.T) {
 		t.Fatal(err)
 	}
 	cache := NewCostCache()
-	ev := func(pl *core.Plan) (*estimator.Result, error) { return cache.Evaluate(prob.Est, pl) }
-	good, goodRes, err := startState(ev, prob.Est, prob.Plan, sp, opt)
+	ev := newPlanEvaluator(prob.Est, cache, prob.Plan)
+	good, goodCost, err := startState(ev, prob.Est, prob.Plan, sp, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	oom, oomRes := oomSeedPlan(t, prob, sp)
 
-	mk := func(idx int, cur *core.Plan, res *estimator.Result) *chainState {
+	mk := func(idx int, cur *core.Plan, cost float64) *chainState {
 		seed := chainSeed(opt.Seed, idx)
 		return &chainState{
 			idx: idx, seed: seed, rng: rand.New(rand.NewSource(seed)),
-			cur: cur.Clone(), curCost: res.Cost,
-			best: cur.Clone(), bestRes: res,
-			beta: 10 / math.Max(res.Cost, 1e-9), adaptiveBeta: true,
+			cur: cur.Clone(), curCost: cost,
+			best: cur.Clone(), bestCost: cost,
+			beta: 10 / math.Max(cost, 1e-9), adaptiveBeta: true,
 		}
 	}
-	cs := []*chainState{mk(0, good, goodRes), mk(1, oom, oomRes)}
+	cs := []*chainState{mk(0, good, goodCost), mk(1, oom, oomRes.Cost)}
 	staleBeta := cs[1].beta
 	exchangeBest(cs)
 
-	if cs[1].curCost != goodRes.Cost || cs[1].bestRes.Cost != goodRes.Cost {
+	if cs[1].curCost != goodCost || cs[1].bestCost != goodCost {
 		t.Fatalf("OOM-seeded chain did not adopt the global best (cur %v best %v, want %v)",
-			cs[1].curCost, cs[1].bestRes.Cost, goodRes.Cost)
+			cs[1].curCost, cs[1].bestCost, goodCost)
 	}
-	want := 10 / math.Max(goodRes.Cost, 1e-9)
+	want := 10 / math.Max(goodCost, 1e-9)
 	if cs[1].beta != want {
 		t.Errorf("adopting chain kept β %v, want %v (rescaled to the adopted cost scale)", cs[1].beta, want)
 	}
@@ -85,7 +85,7 @@ func TestExchangeRescalesAdaptiveBeta(t *testing.T) {
 	// With the rescaled temperature, a proposal ~10% uphill of the adopted
 	// cost is no longer a near-certain accept: exp(−β·Δ) must be clearly
 	// below 1 (with the stale β it is ≈ 1 − 1e-3).
-	if p := math.Exp(-cs[1].beta * 0.1 * goodRes.Cost); p > 0.5 {
+	if p := math.Exp(-cs[1].beta * 0.1 * goodCost); p > 0.5 {
 		t.Errorf("uphill acceptance probability %v still near-certain after adoption", p)
 	}
 }

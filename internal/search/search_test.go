@@ -132,9 +132,10 @@ func TestCandidatesRespectPruning(t *testing.T) {
 			genNode = n
 		}
 	}
-	none := candidates(p, genNode, PruneNone)
-	moderate := candidates(p, genNode, PruneModerate)
-	aggressive := candidates(p, genNode, PruneAggressive)
+	meshes := mesh.Enumerate(p.Cluster)
+	none := candidates(p, genNode, PruneNone, meshes, nil)
+	moderate := candidates(p, genNode, PruneModerate, meshes, nil)
+	aggressive := candidates(p, genNode, PruneAggressive, meshes, nil)
 	if len(moderate) >= len(none) {
 		t.Errorf("moderate pruning did not shrink the space: %d vs %d", len(moderate), len(none))
 	}

@@ -1,0 +1,82 @@
+package search
+
+import (
+	"sort"
+
+	"realhf/internal/core"
+	"realhf/internal/estimator"
+)
+
+// planEvaluator is a chain-local incremental scorer: an estimator.EvalSession
+// for delta re-costing plus the shared CostCache's compact plan-cost index.
+// Plans any chain has scored before are served from the cache without
+// touching the estimator; brand-new plans pay only for the augmented-graph
+// nodes their last mutation changed, with node durations shared across
+// chains through the cache's node-level memo.
+//
+// A planEvaluator is single-goroutine state (each chain owns one); all
+// cross-chain sharing happens through the concurrency-safe cache underneath.
+type planEvaluator struct {
+	cache *CostCache
+	sess  *estimator.EvalSession
+	names []string // sorted call names, fixed per problem
+	buf   []byte   // reusable key buffer
+	fixed int      // length of the semantics prefix in buf
+}
+
+func newPlanEvaluator(e *estimator.Estimator, cache *CostCache, p *core.Plan) *planEvaluator {
+	names := p.CallNames()
+	sort.Strings(names)
+	ev := &planEvaluator{
+		cache: cache,
+		sess:  e.NewSession(cache.DurationFunc(e)),
+		names: names,
+	}
+	// Mirror CostCache.Evaluate's key semantics: calibration and overlap
+	// prefixes keep differently-costed evaluations of one plan from
+	// aliasing. The prefix is fixed per evaluator, so it is built once.
+	if ck := e.CalibrationKey(); ck != "" {
+		ev.buf = append(ev.buf, "calib="...)
+		ev.buf = append(ev.buf, ck...)
+		ev.buf = append(ev.buf, '|')
+	}
+	if e.OverlapComm {
+		ev.buf = append(ev.buf, "overlap|"...)
+	}
+	ev.fixed = len(ev.buf)
+	return ev
+}
+
+// key appends the plan's canonical fingerprint (same encoding as
+// core.Plan.Fingerprint) to the semantics prefix in the reusable buffer.
+func (ev *planEvaluator) key(p *core.Plan) []byte {
+	b := ev.buf[:ev.fixed]
+	for _, name := range ev.names {
+		b = append(b, name...)
+		b = append(b, '=')
+		if a, ok := p.Assign[name]; ok {
+			b = a.AppendFingerprint(b)
+		} else {
+			b = append(b, '!')
+		}
+		b = append(b, ';')
+	}
+	ev.buf = b
+	return b
+}
+
+// cost returns the plan's compact cost: served from the shared cache when
+// any chain has scored this fingerprint, delta re-costed through the session
+// otherwise. Errors are not cached, mirroring CostCache.Evaluate.
+func (ev *planEvaluator) cost(p *core.Plan) (estimator.PlanCost, error) {
+	key := ev.key(p)
+	if pc, ok := ev.cache.planCost(key); ok {
+		return pc, nil
+	}
+	pc, err := ev.sess.Evaluate(p)
+	if err != nil {
+		return estimator.PlanCost{}, err
+	}
+	ev.cache.storePlanCost(key, pc)
+	return pc, nil
+}

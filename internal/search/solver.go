@@ -298,10 +298,13 @@ func BruteForce(e *estimator.Estimator, p *core.Plan, topK int) (*Result, error)
 // the movable call names (sorted for determinism), and the joint-space size.
 // fullSets keeps the pre-shortlist enumeration: the greedy seed minimizes
 // over it (as the original engine did) even when sampling is shortlisted.
+// cands mirrors sets indexed by position in names, so the proposal loop
+// draws candidates without a map lookup per step.
 type space struct {
 	sets       map[string][]core.Assignment
 	fullSets   map[string][]core.Assignment
 	names      []string
+	cands      [][]core.Assignment
 	spaceLog10 float64
 }
 
@@ -330,12 +333,63 @@ func buildSpace(e *estimator.Estimator, p *core.Plan, opt Options) (*space, erro
 	if len(names) == 0 {
 		return nil, fmt.Errorf("search: no calls to search over")
 	}
-	return &space{sets: sets, fullSets: full, names: names, spaceLog10: spaceLog10}, nil
+	cands := make([][]core.Assignment, len(names))
+	for i, name := range names {
+		cands[i] = sets[name]
+	}
+	return &space{sets: sets, fullSets: full, names: names, cands: cands, spaceLog10: spaceLog10}, nil
+}
+
+// enumMemo caches the pure enumeration helpers consulted while building
+// candidate sets: parallel.Enumerate keyed by its (gpus, maxTP, maxPP)
+// arguments and parallel.MicroBatchOptions keyed by the per-replica batch.
+// Calls in one problem share meshes and mostly share model shapes, so the
+// same enumerations recur across every (call, mesh) pair; memoizing them
+// removes the bulk of candidate-set construction's allocations. A nil memo
+// disables caching (each lookup recomputes).
+type enumMemo struct {
+	strategies map[[3]int][]parallel.Strategy
+	microBatch map[int][]int
+}
+
+func newEnumMemo() *enumMemo {
+	return &enumMemo{
+		strategies: map[[3]int][]parallel.Strategy{},
+		microBatch: map[int][]int{},
+	}
+}
+
+func (m *enumMemo) enumerate(gpus, maxTP, maxPP int) []parallel.Strategy {
+	if m == nil {
+		return parallel.Enumerate(gpus, maxTP, maxPP)
+	}
+	key := [3]int{gpus, maxTP, maxPP}
+	sts, ok := m.strategies[key]
+	if !ok {
+		sts = parallel.Enumerate(gpus, maxTP, maxPP)
+		m.strategies[key] = sts
+	}
+	return sts
+}
+
+func (m *enumMemo) microBatchOptions(perDP int) []int {
+	if m == nil {
+		return parallel.MicroBatchOptions(perDP)
+	}
+	mbs, ok := m.microBatch[perDP]
+	if !ok {
+		mbs = parallel.MicroBatchOptions(perDP)
+		m.microBatch[perDP] = mbs
+	}
+	return mbs
 }
 
 // candidates enumerates the legal assignments of one call under the pruning
-// level.
-func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel) []core.Assignment {
+// level. meshes is the cluster's mesh enumeration and memo caches the inner
+// strategy/micro-batch enumerations; both are hoisted by the caller because
+// they are identical (or heavily shared) across calls, and recomputing them
+// per call dominated candidate-set construction.
+func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel, meshes []mesh.Mesh, memo *enumMemo) []core.Assignment {
 	ms := p.Models[call.Role]
 	batch := call.Work.Batch
 	if call.Type == dfg.Train && call.Work.MiniBatches > 1 {
@@ -350,7 +404,7 @@ func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel) []core.Assignment 
 		maxMB = 8
 	}
 	var out []core.Assignment
-	for _, m := range mesh.Enumerate(p.Cluster) {
+	for _, m := range meshes {
 		if lvl >= PruneModerate && m.Count > p.Cluster.GPUsPerNode {
 			span := m.Count / p.Cluster.GPUsPerNode
 			if span&(span-1) != 0 || m.FirstNode()%span != 0 {
@@ -361,7 +415,7 @@ func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel) []core.Assignment 
 		if m.Count < maxTP {
 			maxTP = m.Count
 		}
-		for _, st := range parallel.Enumerate(m.Count, maxTP, maxPP) {
+		for _, st := range memo.enumerate(m.Count, maxTP, maxPP) {
 			if batch > 0 && batch%st.DP != 0 {
 				continue
 			}
@@ -369,7 +423,7 @@ func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel) []core.Assignment 
 			if perDP == 0 {
 				perDP = 1
 			}
-			for _, mb := range parallel.MicroBatchOptions(perDP) {
+			for _, mb := range memo.microBatchOptions(perDP) {
 				if mb > maxMB {
 					break
 				}
@@ -399,11 +453,13 @@ func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel) []core.Assignment 
 func candidateSets(p *core.Plan, lvl PruneLevel) (map[string][]core.Assignment, float64, error) {
 	sets := map[string][]core.Assignment{}
 	var log10 float64
+	meshes := mesh.Enumerate(p.Cluster)
+	memo := newEnumMemo()
 	for _, n := range p.Graph.Nodes {
 		if _, ok := sets[n.Name]; ok {
 			continue
 		}
-		c := candidates(p, n, lvl)
+		c := candidates(p, n, lvl, meshes, memo)
 		if len(c) == 0 {
 			return nil, 0, fmt.Errorf("search: call %q has no legal assignment", n.Name)
 		}
