@@ -1,0 +1,133 @@
+// Planning-as-a-service: stand up the plan server over one shared
+// realhf.Planner, fan five identical clients at it concurrently, and show
+// the singleflight contract — one solve, five answers — plus per-tenant
+// calibration isolation (a calibrated tenant gets its own solve, never
+// another tenant's cache entry) and a graceful drain.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"realhf"
+	"realhf/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One shared planning session: its plan and cost caches are the
+	// cross-tenant shared state.
+	planner := realhf.NewPlanner(realhf.ClusterConfig{Nodes: 2})
+	srv, err := serve.New(serve.Config{Planner: planner, MaxConcurrentSolves: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("plan server listening on %s\n\n", base)
+
+	cfg := realhf.ExperimentConfig{
+		BatchSize:   512,
+		PromptLen:   1024,
+		GenLen:      1024,
+		MiniBatches: 8,
+		RPCs:        realhf.PPORPCs("llama7b", "llama7b-critic"),
+		SearchSteps: 1500,
+		Seed:        1,
+	}
+
+	// Five tenants ask for the same plan at the same time: the server runs
+	// one MCMC solve and fans the answer out to every waiter.
+	const clients = 5
+	responses := make([]*serve.PlanResponse, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := serve.NewClient(base, serve.WithTenant(fmt.Sprintf("team-%d", i)))
+			resp, err := c.Plan(context.Background(), cfg, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			responses[i] = resp
+		}(i)
+	}
+	wg.Wait()
+
+	coalesced := 0
+	for _, r := range responses {
+		if r.Coalesced {
+			coalesced++
+		}
+	}
+	stats, err := serve.NewClient(base).Stats(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d identical concurrent requests -> %d solve(s), %d coalesced, %d cache hit(s)\n",
+		clients, stats.Server.Solves, stats.Server.Coalesced, stats.Server.CacheHits)
+	fmt.Printf("all plans identical: %v (fingerprint %s)\n",
+		allSameFingerprint(responses), responses[0].Fingerprint)
+	fmt.Printf("predicted iteration time: %.1fs\n\n", responses[0].Estimate.TimeCostSeconds)
+
+	// A replay is a plan-cache hit: answered inline, no solve, no queueing.
+	replay, err := serve.NewClient(base).Plan(context.Background(), cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replay: cached=%v coalesced=%v\n\n", replay.Cached, replay.Coalesced)
+
+	// A tenant whose profiling says generation runs 1.3x slower than the
+	// cost model sends its calibration factors. The calibration fingerprint
+	// joins the cache and coalescing keys, so this request gets its own
+	// solve — tenant A's calibrated timings can never answer tenant B.
+	calibrated, err := serve.NewClient(base, serve.WithTenant("team-calibrated")).
+		Plan(context.Background(), cfg, map[string]float64{"actor/GENERATE": 1.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated tenant: cached=%v, predicted %.1fs (uncalibrated %.1fs)\n\n",
+		calibrated.Cached, calibrated.Estimate.TimeCostSeconds, responses[0].Estimate.TimeCostSeconds)
+
+	// The plan bytes rebuild a runnable Experiment against a local session.
+	exp, err := replay.Experiment(planner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := exp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebuilt experiment ran: %.1fs/iteration (predicted %.1fs)\n\n",
+		report.IterationTime, replay.Estimate.TimeCostSeconds)
+
+	// Graceful drain: in-flight solves finish, new requests get 503.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	httpSrv.Shutdown(ctx)
+	fmt.Println("server drained cleanly")
+}
+
+func allSameFingerprint(rs []*serve.PlanResponse) bool {
+	for _, r := range rs {
+		if r.Fingerprint != rs[0].Fingerprint {
+			return false
+		}
+	}
+	return true
+}

@@ -86,6 +86,14 @@ func LoadPlan(path string, g *dfg.Graph) (*Plan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: read plan: %w", err)
 	}
+	return UnmarshalPlan(data, g)
+}
+
+// UnmarshalPlan decodes a plan serialized by Plan.MarshalJSON (the SavePlan
+// format) and attaches it to the given dataflow graph — the in-memory twin
+// of LoadPlan, used by callers that carry plans over the wire instead of
+// the filesystem.
+func UnmarshalPlan(data []byte, g *dfg.Graph) (*Plan, error) {
 	var in planJSON
 	if err := json.Unmarshal(data, &in); err != nil {
 		return nil, fmt.Errorf("core: parse plan: %w", err)

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"realhf"
+)
+
+// BenchmarkServerCoalescedQPS measures one full service burst over the
+// real HTTP stack: a cold solve fanned out to a fixed pool of coalesced
+// waiters, followed by the same pool replayed against the plan cache.
+// ns/op is the machine-dependent wall time of the burst (cold + coalesced
+// + cached QPS folds out of it and the request counters); the custom
+// metrics are exact counters — deterministic by construction, as the CI
+// benchmark gate requires — proving the coalescing contract: every burst
+// is 1 solve, waiters-1 coalesced fan-outs, and a 100% cached replay.
+func BenchmarkServerCoalescedQPS(b *testing.B) {
+	const waiters = 8
+	ctx := context.Background()
+	cfg := testConfig(3, 400)
+	b.ReportAllocs()
+
+	var solves, coalesced, cacheHits, requests int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		planner := realhf.NewPlanner(realhf.ClusterConfig{Nodes: 1})
+		srv, err := New(Config{Planner: planner})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		client := NewClient(hs.URL)
+		// The leader blocks at the solve hook until every other waiter has
+		// deterministically joined its flight — no polling, no racy split
+		// between coalesced joins and cache hits.
+		release := make(chan struct{})
+		allJoined := make(chan struct{})
+		srv.hookBeforeSolve = func(string) { <-release }
+		srv.hookWaiterJoined = func(joined int) {
+			if joined == waiters-1 {
+				close(allJoined)
+			}
+		}
+		b.StartTimer()
+
+		var wg sync.WaitGroup
+		for k := 0; k < waiters; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := client.Plan(ctx, cfg, nil); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		<-allJoined
+		close(release)
+		wg.Wait()
+
+		for k := 0; k < waiters; k++ {
+			resp, err := client.Plan(ctx, cfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("replay missed the plan cache")
+			}
+		}
+
+		b.StopTimer()
+		st := srv.Stats()
+		solves += st.Solves
+		coalesced += st.Coalesced
+		cacheHits += st.CacheHits
+		requests += st.Requests
+		hs.Close()
+	}
+
+	n := float64(b.N)
+	b.ReportMetric(float64(solves)/n, "solves-per-burst")
+	b.ReportMetric(float64(coalesced)/n, "coalesced-per-solve")
+	b.ReportMetric(float64(cacheHits)/n, "cached-hits-per-burst")
+	b.ReportMetric(float64(requests)/n, "requests-per-burst")
+}

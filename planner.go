@@ -3,7 +3,10 @@ package realhf
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
+	"math"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,21 +21,23 @@ import (
 	"realhf/internal/search"
 )
 
-// ClusterConfig configures a Planner session.
+// ClusterConfig configures a Planner session. Like ExperimentConfig it is a
+// wire type: MarshalJSON emits the canonical defaults-applied form (see
+// wire.go), which is what cmd/realserve logs and serves.
 type ClusterConfig struct {
 	// Nodes is the default number of 8-GPU hosts for requests that leave
 	// ExperimentConfig.Nodes at 0. A request carrying its own Nodes value
 	// may plan at any scale; the planner keys its caches by cluster shape.
-	Nodes int
+	Nodes int `json:"nodes"`
 	// GPUsPerNode is the default device count per host (0 = 8).
-	GPUsPerNode int
+	GPUsPerNode int `json:"gpus_per_node"`
 	// PlanCacheEntries bounds the LRU cache of searched plans (default 64).
-	PlanCacheEntries int
+	PlanCacheEntries int `json:"plan_cache_entries"`
 	// ProblemCacheEntries bounds the LRU pool of per-problem cost caches
 	// and estimators (default 8). A "problem" is a distinct (cluster,
 	// workload, RPCs) combination; each owns one search.CostCache shared
 	// by every request that plans it.
-	ProblemCacheEntries int
+	ProblemCacheEntries int `json:"problem_cache_entries"`
 }
 
 // Planner is a long-lived, concurrency-safe planning service — the
@@ -77,15 +82,22 @@ type problemState struct {
 	cache *search.CostCache
 }
 
-// NewPlanner creates a planning session. The zero ClusterConfig is valid:
-// requests then size the cluster themselves via ExperimentConfig.Nodes.
-func NewPlanner(cc ClusterConfig) *Planner {
+// withDefaults resolves the session defaults NewPlanner applies — the
+// canonical form ClusterConfig.MarshalJSON emits.
+func (cc ClusterConfig) withDefaults() ClusterConfig {
 	if cc.PlanCacheEntries <= 0 {
 		cc.PlanCacheEntries = 64
 	}
 	if cc.ProblemCacheEntries <= 0 {
 		cc.ProblemCacheEntries = 8
 	}
+	return cc
+}
+
+// NewPlanner creates a planning session. The zero ClusterConfig is valid:
+// requests then size the cluster themselves via ExperimentConfig.Nodes.
+func NewPlanner(cc ClusterConfig) *Planner {
+	cc = cc.withDefaults()
 	return &Planner{
 		cc:       cc,
 		costers:  map[costerKey]gpumodel.ModelCoster{},
@@ -117,22 +129,49 @@ type autoOptions struct {
 	hasChains    bool
 	overlapAware bool
 	runOpts      *RunOptions
-	// calib attaches profile-feedback calibration to the request's problem.
-	// It has no public AutoOption constructor: Trainer sessions set it when
-	// replanning, and it isolates the calibrated problem (estimator, cost
-	// cache, plan-cache entries) from every uncalibrated request via the
-	// calibration key.
-	calib *estimator.Calibration
+	// calib attaches profile-feedback calibration to the request's problem:
+	// Trainer sessions set it directly when replanning, and
+	// WithCalibrationFactors builds it from caller-supplied multipliers
+	// (calibFactors, validated first). Either way it isolates the calibrated
+	// problem (estimator, cost cache, plan-cache entries) from every
+	// uncalibrated request via the calibration key.
+	calib        *estimator.Calibration
+	calibFactors map[string]float64
 }
 
-// validate rejects malformed per-request options (today: RunOptions bound
-// via WithRunOptions), sharing RunOptions.Validate with the execution-time
-// checks.
+// validate rejects malformed per-request options — RunOptions bound via
+// WithRunOptions (sharing RunOptions.Validate with the execution-time
+// checks) and calibration factors bound via WithCalibrationFactors.
 func (o *autoOptions) validate() error {
 	if o.runOpts != nil {
-		return o.runOpts.Validate()
+		if err := o.runOpts.Validate(); err != nil {
+			return err
+		}
+	}
+	for name, f := range o.calibFactors {
+		if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("realhf: calibration factor %q = %v: %w (must be a positive finite multiplier)",
+				name, f, ErrInvalidConfig)
+		}
 	}
 	return nil
+}
+
+// finish resolves derived option state after validation: caller-supplied
+// calibration factors become the request's estimator.Calibration. (Unit-only
+// factor maps canonicalize to the uncalibrated base, exactly like a Trainer
+// whose feedback never drifted.)
+func (o *autoOptions) finish() {
+	if o.calib == nil && len(o.calibFactors) > 0 {
+		o.calib = estimator.NewCalibration(o.calibFactors)
+	}
+}
+
+// requestKey is the plan-cache (and coalescing) key for one prepared
+// request: the canonical config fingerprint extended with the calibration
+// and warm-start tokens.
+func (o *autoOptions) requestKey(cfg ExperimentConfig) string {
+	return cfg.fingerprint() + calibToken(o.calib) + warmStartKey(o.warmStarts)
 }
 
 // withCalibration routes a Trainer's profile feedback into a plan request.
@@ -185,6 +224,29 @@ func WithRunOptions(opts RunOptions) AutoOption {
 	return func(o *autoOptions) { o.runOpts = &opts }
 }
 
+// WithCalibrationFactors layers per-call duration multipliers (observed /
+// predicted, e.g. exported from TrainerStats.CalibrationFactors or a
+// tenant's own profiling) over the pure cost model for this request. The
+// factors join the problem and plan-cache keys, so calibrated requests own
+// their own estimator, cost cache and plan-cache entries and can never
+// poison the uncalibrated ones — the isolation contract multi-tenant
+// frontends (internal/serve) rely on. Factors must be positive and finite;
+// Plan rejects anything else with a wrapped ErrInvalidConfig. An empty or
+// all-unit map is the uncalibrated base and shares its caches.
+func WithCalibrationFactors(factors map[string]float64) AutoOption {
+	return func(o *autoOptions) {
+		if len(factors) == 0 {
+			return
+		}
+		if o.calibFactors == nil {
+			o.calibFactors = make(map[string]float64, len(factors))
+		}
+		for name, f := range factors {
+			o.calibFactors[name] = f
+		}
+	}
+}
+
 // merge fills request fields the caller left at zero from the session
 // defaults.
 func (p *Planner) merge(cfg ExperimentConfig) ExperimentConfig {
@@ -197,19 +259,23 @@ func (p *Planner) merge(cfg ExperimentConfig) ExperimentConfig {
 	return cfg
 }
 
-// Plan searches for an efficient execution plan for cfg — the session
-// analogue of Auto. The context is honored for the whole request:
-// cancellation or a deadline aborts the solver mid-search with a wrapped
-// context error. An equivalent step-bounded config planned before (same
-// canonical fingerprint after defaults, same warm starts) is answered from
-// the plan cache without running a solver; the returned Experiment then has
-// Cached == true and carries the original solve's estimate, trace and
-// stats. Time-bounded searches (SearchTime with SearchSteps == 0) are
-// nondeterministic and bypass the plan cache.
-func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOption) (*Experiment, error) {
-	var o autoOptions
+// Canonicalize returns the session's defaults-applied view of cfg: zero
+// fields are filled from the ClusterConfig and the package defaults, exactly
+// as Plan would before solving. Two configs with equal canonical forms are
+// one request to this session — Canonicalize(cfg).Fingerprint() is the key
+// the plan cache (and any coalescing frontend) dedupes on. Canonicalize is
+// idempotent and does not validate; Plan still rejects a canonicalized but
+// malformed config.
+func (p *Planner) Canonicalize(cfg ExperimentConfig) ExperimentConfig {
+	return p.merge(cfg).withDefaults()
+}
+
+// prepare folds options into the config, applies the session defaults and
+// validates both — the shared prologue of Plan and PlanCached.
+func (p *Planner) prepare(cfg ExperimentConfig, opts []AutoOption) (ExperimentConfig, *autoOptions, error) {
+	o := &autoOptions{}
 	for _, fn := range opts {
-		fn(&o)
+		fn(o)
 	}
 	cfg = p.merge(cfg)
 	if o.solver != "" {
@@ -223,17 +289,35 @@ func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOp
 	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return cfg, nil, err
 	}
 	if err := o.validate(); err != nil {
+		return cfg, nil, err
+	}
+	o.finish()
+	return cfg, o, nil
+}
+
+// Plan searches for an efficient execution plan for cfg — the session
+// analogue of Auto. The context is honored for the whole request:
+// cancellation or a deadline aborts the solver mid-search with a wrapped
+// context error. An equivalent step-bounded config planned before (same
+// canonical fingerprint after defaults, same warm starts) is answered from
+// the plan cache without running a solver; the returned Experiment then has
+// Cached == true and carries the original solve's estimate, trace and
+// stats. Time-bounded searches (SearchTime with SearchSteps == 0) are
+// nondeterministic and bypass the plan cache.
+func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOption) (*Experiment, error) {
+	cfg, o, err := p.prepare(cfg, opts)
+	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("realhf: plan request cancelled: %w", err)
+		return nil, fmt.Errorf("realhf: plan request cancelled: %w: %w", ErrSolveCanceled, err)
 	}
 
 	cacheable := cfg.SearchSteps > 0
-	key := cfg.fingerprint() + calibToken(o.calib) + warmStartKey(o.warmStarts)
+	key := o.requestKey(cfg)
 	p.planRequests.Add(1)
 	if cacheable {
 		if exp, ok := p.cachedPlan(key); ok {
@@ -244,7 +328,7 @@ func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOp
 
 	solver, err := search.New(cfg.Solver)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", err, ErrInvalidConfig)
 	}
 	ps, hw, g, models, err := p.problemFor(cfg, o.calib)
 	if err != nil {
@@ -268,6 +352,9 @@ func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOp
 			Progress:       o.progress,
 		})
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("realhf: %w: %w", ErrSolveCanceled, err)
+		}
 		return nil, err
 	}
 	p.planMisses.Add(1) // a completed solve, cacheable or not
@@ -280,6 +367,29 @@ func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOp
 		p.storePlan(key, exp)
 	}
 	return exp, nil
+}
+
+// PlanCached answers cfg from the session's plan cache without ever running
+// a solver: it returns the cached experiment and true when an equivalent
+// deterministic request (same canonical fingerprint, calibration and warm
+// starts) was solved before, and (nil, false) otherwise — including for
+// malformed configs and time-bounded searches, which Plan will then reject
+// or solve respectively. A probe hit counts as a request and a cache hit in
+// PlannerStats; a miss counts as nothing (the Plan call that follows it
+// does the counting). This is the admission-free fast path network
+// frontends use so cached requests never queue behind running solves.
+func (p *Planner) PlanCached(cfg ExperimentConfig, opts ...AutoOption) (*Experiment, bool) {
+	cfg, o, err := p.prepare(cfg, opts)
+	if err != nil || cfg.SearchSteps <= 0 {
+		return nil, false
+	}
+	exp, ok := p.cachedPlan(o.requestKey(cfg))
+	if !ok {
+		return nil, false
+	}
+	p.planRequests.Add(1)
+	p.planHits.Add(1)
+	return exp.instantiate(o.runOpts), true
 }
 
 // Heuristic builds cfg's experiment with the pre-training-style symmetric
@@ -297,8 +407,9 @@ func (p *Planner) Heuristic(cfg ExperimentConfig, opts ...AutoOption) (*Experime
 	for _, fn := range opts {
 		fn(&o)
 	}
-	if o.progress != nil || o.warmStarts != nil || o.solver != "" || o.hasChains || o.overlapAware || o.calib != nil {
-		return nil, fmt.Errorf("realhf: Heuristic runs no search and accepts only WithRunOptions")
+	if o.progress != nil || o.warmStarts != nil || o.solver != "" || o.hasChains || o.overlapAware ||
+		o.calib != nil || o.calibFactors != nil {
+		return nil, fmt.Errorf("realhf: Heuristic runs no search and accepts only WithRunOptions: %w", ErrInvalidConfig)
 	}
 	cfg = p.merge(cfg).withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -329,8 +440,19 @@ func (p *Planner) Heuristic(cfg ExperimentConfig, opts ...AutoOption) (*Experime
 // Experiment.SavePlan (or realsearch -save): cfg reconstructs the dataflow
 // graph and cost model, the file supplies the assignments, and the session
 // estimator re-derives the estimate. The stored cluster shape and model
-// cast must agree with cfg.
+// cast must agree with cfg. LoadExperimentBytes is the in-memory twin for
+// plans carried over the wire instead of the filesystem.
 func (p *Planner) LoadExperiment(path string, cfg ExperimentConfig) (*Experiment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("realhf: read plan: %w", err)
+	}
+	return p.loadExperiment(data, path, cfg)
+}
+
+// loadExperiment rebuilds an Experiment from serialized plan bytes; label
+// names the source (a path, or "plan bytes") in errors.
+func (p *Planner) loadExperiment(data []byte, label string, cfg ExperimentConfig) (*Experiment, error) {
 	cfg = p.merge(cfg).withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -339,18 +461,18 @@ func (p *Planner) LoadExperiment(path string, cfg ExperimentConfig) (*Experiment
 	if err != nil {
 		return nil, err
 	}
-	loaded, err := core.LoadPlan(path, g)
+	loaded, err := core.UnmarshalPlan(data, g)
 	if err != nil {
 		return nil, err
 	}
 	if loaded.Cluster.Nodes != hw.Nodes || loaded.Cluster.GPUsPerNode != hw.GPUsPerNode {
-		return nil, fmt.Errorf("realhf: plan %s was saved for a %d-node×%d-GPU cluster, config describes %d×%d",
-			path, loaded.Cluster.Nodes, loaded.Cluster.GPUsPerNode, hw.Nodes, hw.GPUsPerNode)
+		return nil, fmt.Errorf("realhf: plan %s was saved for a %d-node×%d-GPU cluster, config describes %d×%d: %w",
+			label, loaded.Cluster.Nodes, loaded.Cluster.GPUsPerNode, hw.Nodes, hw.GPUsPerNode, ErrInvalidConfig)
 	}
 	for role, ms := range models {
 		lm, ok := loaded.Models[role]
 		if !ok || lm.Cfg.Name != ms.Cfg.Name {
-			return nil, fmt.Errorf("realhf: plan %s disagrees with the config about model %q", path, role)
+			return nil, fmt.Errorf("realhf: plan %s disagrees with the config about model %q: %w", label, role, ErrInvalidConfig)
 		}
 	}
 	// Re-attach the assignments to the config's own graph and models so the
@@ -372,21 +494,26 @@ func LoadExperiment(path string, cfg ExperimentConfig) (*Experiment, error) {
 	return DefaultPlanner().LoadExperiment(path, cfg)
 }
 
-// PlannerStats reports a session's cache effectiveness.
+// PlannerStats reports a session's cache effectiveness. It is also a wire
+// type: the plan service's /v1/stats endpoint returns it alongside the
+// server's own counters.
 type PlannerStats struct {
-	// PlanRequests counts Plan calls that passed validation.
-	PlanRequests int64
+	// PlanRequests counts Plan calls that passed validation (including
+	// PlanCached probe hits).
+	PlanRequests int64 `json:"plan_requests"`
 	// PlanCacheHits counts requests answered from the plan cache without
 	// running a solver; PlanCacheMisses counts completed solves. Requests
 	// that fail (bad config, unknown solver, cancellation) count as
 	// neither.
-	PlanCacheHits, PlanCacheMisses int64
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
 	// Problems is the number of live per-problem cost caches.
-	Problems int
+	Problems int `json:"problems"`
 	// CostCacheHits and CostCacheMisses aggregate the plan-level
 	// cost-cache counters across the live problem caches (entries evicted
 	// from the problem pool drop out of the totals).
-	CostCacheHits, CostCacheMisses int64
+	CostCacheHits   int64 `json:"cost_cache_hits"`
+	CostCacheMisses int64 `json:"cost_cache_misses"`
 }
 
 // Stats snapshots the session's counters.

@@ -30,7 +30,6 @@ package realhf
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -74,57 +73,61 @@ func (t InterfaceType) String() string {
 type ModelFunctionCallDef struct {
 	// Name optionally overrides the call's display name; defaults to
 	// "<ModelName>/<InterfaceType>".
-	Name string
+	Name string `json:"name,omitempty"`
 	// ModelName identifies the LLM ("actor", "critic", "ref", "reward").
-	ModelName string
+	ModelName string `json:"model_name"`
 	// ModelType names the architecture: "llama7b", "llama13b", "llama34b",
 	// "llama70b", with an optional "-critic" suffix for scalar-head models.
-	ModelType string
+	ModelType string `json:"model_type"`
 	// InterfaceType selects generation, inference, or training.
-	InterfaceType InterfaceType
+	InterfaceType InterfaceType `json:"interface_type"`
 	// InputData and OutputData wire the dataflow graph.
-	InputData  []string
-	OutputData []string
+	InputData  []string `json:"input_data,omitempty"`
+	OutputData []string `json:"output_data,omitempty"`
 	// BatchScale multiplies the experiment's BatchSize for this call
 	// (0 or 1 means unscaled). The algorithm presets use it where a
 	// workflow inflates the sequence count per prompt: GRPO's grouped
 	// generation processes BatchSize×GroupSize sequences, and DPO's calls
 	// see both the chosen and rejected sequence of every preference pair.
-	BatchScale int
+	BatchScale int `json:"batch_scale,omitempty"`
 	// MiniBatches overrides ExperimentConfig.MiniBatches for this TrainStep
 	// call (0 keeps the experiment-wide default). DPO and ReMax train over
 	// the full batch (MiniBatches = 1) while PPO defaults to 8.
-	MiniBatches int
+	MiniBatches int `json:"mini_batches,omitempty"`
 }
 
-// ExperimentConfig describes one RLHF experiment, the input to Auto.
+// ExperimentConfig describes one RLHF experiment, the input to Auto. It is
+// also the plan service's wire type: MarshalJSON emits the canonical
+// defaults-applied form and UnmarshalJSON parses it back, round-tripping
+// bit-stably through the config fingerprint (see wire.go).
 type ExperimentConfig struct {
 	// Nodes is the number of 8-GPU hosts (the paper's testbed shape).
-	Nodes int
+	Nodes int `json:"nodes"`
 	// GPUsPerNode overrides the default of 8.
-	GPUsPerNode int
+	GPUsPerNode int `json:"gpus_per_node"`
 	// BatchSize is the global number of prompts per iteration.
-	BatchSize int
+	BatchSize int `json:"batch_size"`
 	// PromptLen and GenLen are per-sequence token counts.
-	PromptLen, GenLen int
+	PromptLen int `json:"prompt_len"`
+	GenLen    int `json:"gen_len"`
 	// MiniBatches is the PPO mini-batch count for TrainStep calls
 	// (default 8, after InstructGPT).
-	MiniBatches int
+	MiniBatches int `json:"mini_batches"`
 	// Iterations concatenates multiple RLHF iterations into one dataflow
 	// graph (default 1), enabling cross-iteration overlap.
-	Iterations int
+	Iterations int `json:"iterations"`
 	// RPCs is the workflow definition.
-	RPCs []ModelFunctionCallDef
+	RPCs []ModelFunctionCallDef `json:"rpcs"`
 
 	// SearchSteps bounds the MCMC search (default 4000; per chain for the
 	// parallel solver).
-	SearchSteps int
+	SearchSteps int `json:"search_steps"`
 	// SearchTime optionally bounds search wall time instead.
-	SearchTime time.Duration
+	SearchTime time.Duration `json:"search_time_ns"`
 	// Seed fixes the search RNG (default 1). Multi-chain solvers derive
 	// per-chain seeds from it, and a fixed seed with a step-bounded search
 	// reproduces the chosen plan byte for byte.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Solver selects the planning engine by registry name: "mcmc" (the
 	// default sequential Metropolis–Hastings walker of §5.2),
 	// "parallel-mcmc" (K independent chains with periodic best-plan
@@ -133,12 +136,12 @@ type ExperimentConfig struct {
 	// of Fig. 15; small problems only). Leaving it empty keeps the
 	// pre-Solver behavior: "mcmc", upgraded to "parallel-mcmc" when
 	// SearchParallelism > 1.
-	Solver string
+	Solver string `json:"solver"`
 	// SearchParallelism is the number of concurrent MCMC chains for the
 	// parallel solver. 0 or 1 keeps the sequential engine (backward
 	// compatible); with Solver == "parallel-mcmc" and SearchParallelism
 	// left at 0 the solver uses GOMAXPROCS chains.
-	SearchParallelism int
+	SearchParallelism int `json:"search_parallelism"`
 	// PlanForOverlap makes the search score candidate plans under the
 	// overlapped-engine cost semantics (estimator.Estimator.OverlapComm) —
 	// the schedule the runtime executes under DefaultRunOptions — instead of
@@ -147,7 +150,7 @@ type ExperimentConfig struct {
 	// keep their plans and estimates byte for byte. The flag is part of the
 	// planner's problem and plan-cache keys, so serialized and overlap-aware
 	// solves of one workload never share cost caches or cached plans.
-	PlanForOverlap bool
+	PlanForOverlap bool `json:"plan_for_overlap"`
 }
 
 func (c ExperimentConfig) withDefaults() ExperimentConfig {
@@ -177,10 +180,10 @@ func (c ExperimentConfig) withDefaults() ExperimentConfig {
 
 // validate reports configuration errors. It is the single checker shared by
 // every planning entry point — Auto, Heuristic and Planner.Plan — so all of
-// them reject a bad config with the same error.
+// them reject a bad config with the same error, wrapping ErrInvalidConfig.
 func (c ExperimentConfig) validate() error {
 	if c.Nodes <= 0 {
-		return fmt.Errorf("realhf: Nodes must be positive")
+		return fmt.Errorf("realhf: Nodes must be positive: %w", ErrInvalidConfig)
 	}
 	return nil
 }
@@ -287,7 +290,7 @@ func AlgoRPCs(algo, actorType, criticType string) ([]ModelFunctionCallDef, error
 	case "remax":
 		return ReMaxRPCs(actorType, criticType), nil
 	}
-	return nil, fmt.Errorf("realhf: unknown algorithm %q (have ppo, dpo, grpo, remax)", algo)
+	return nil, fmt.Errorf("realhf: unknown algorithm %q (have ppo, dpo, grpo, remax): %w", algo, ErrInvalidConfig)
 }
 
 // PaperExperiment returns the paper's base configuration (Appendix A —
@@ -319,7 +322,7 @@ func parseModelType(s string) (model.Config, bool, error) {
 	name = strings.TrimPrefix(name, "llama")
 	cfg, err := model.ByName(name)
 	if err != nil {
-		return model.Config{}, false, fmt.Errorf("realhf: bad ModelType %q: %w", s, err)
+		return model.Config{}, false, fmt.Errorf("realhf: bad ModelType %q: %w: %w", s, err, ErrInvalidConfig)
 	}
 	return cfg, critic, nil
 }
@@ -327,7 +330,7 @@ func parseModelType(s string) (model.Config, bool, error) {
 // buildGraph lowers RPC definitions into the internal dataflow graph.
 func buildGraph(c ExperimentConfig) (*dfg.Graph, map[dfg.Role]core.ModelSpec, error) {
 	if len(c.RPCs) == 0 {
-		return nil, nil, fmt.Errorf("realhf: experiment has no RPCs")
+		return nil, nil, fmt.Errorf("realhf: experiment has no RPCs: %w", ErrInvalidConfig)
 	}
 	g := dfg.NewGraph("custom")
 	models := map[dfg.Role]core.ModelSpec{}
@@ -349,8 +352,8 @@ func buildGraph(c ExperimentConfig) (*dfg.Graph, map[dfg.Role]core.ModelSpec, er
 			if !ok {
 				ms = core.ModelSpec{Role: role, Cfg: cfg, IsCritic: critic}
 			} else if ms.Cfg.Name != cfg.Name {
-				return nil, nil, fmt.Errorf("realhf: model %q declared with types %q and %q",
-					rpc.ModelName, ms.Cfg.Name, cfg.Name)
+				return nil, nil, fmt.Errorf("realhf: model %q declared with types %q and %q: %w",
+					rpc.ModelName, ms.Cfg.Name, cfg.Name, ErrInvalidConfig)
 			}
 			name := rpc.Name
 			if name == "" {
@@ -374,7 +377,7 @@ func buildGraph(c ExperimentConfig) (*dfg.Graph, map[dfg.Role]core.ModelSpec, er
 				}
 				ms.Trainable = true
 			default:
-				return nil, nil, fmt.Errorf("realhf: bad interface type %v", rpc.InterfaceType)
+				return nil, nil, fmt.Errorf("realhf: bad interface type %v: %w", rpc.InterfaceType, ErrInvalidConfig)
 			}
 			models[role] = ms
 			n := g.AddNode(name, role, typ, iter, work)
@@ -411,7 +414,7 @@ func buildGraph(c ExperimentConfig) (*dfg.Graph, map[dfg.Role]core.ModelSpec, er
 		}
 	}
 	if err := g.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("%w: %w", err, ErrInvalidConfig)
 	}
 	return g, models, nil
 }
@@ -491,11 +494,6 @@ type RunOptions struct {
 	LatencyScale   float64
 	MemoryScale    float64
 }
-
-// ErrInvalidRunOptions is wrapped by every rejection of malformed
-// RunOptions, so callers can errors.Is across Run, RunWith, WithRunOptions
-// and the Trainer options.
-var ErrInvalidRunOptions = errors.New("invalid run options")
 
 // Validate rejects malformed option values: each cluster override must be
 // either 0 (unset) or a positive, finite multiplier. It is the single

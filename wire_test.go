@@ -1,0 +1,175 @@
+package realhf
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExperimentConfigWireRoundTrip is the codec contract the plan service
+// keys its caches and coalescing on: marshaling is canonical and stable,
+// and a config that crosses the wire keeps its problemKey and fingerprint
+// bit for bit.
+func TestExperimentConfigWireRoundTrip(t *testing.T) {
+	cfg := plannerConfig(3, 200)
+	cfg.SearchTime = 90 * time.Millisecond
+	cfg.PlanForOverlap = true
+
+	first, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("marshaling the same config twice produced different bytes")
+	}
+
+	var decoded ExperimentConfig
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	redone, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, redone) {
+		t.Errorf("marshal(decode(marshal(cfg))) != marshal(cfg):\n%s\nvs\n%s", first, redone)
+	}
+	if got, want := decoded.Fingerprint(), cfg.Fingerprint(); got != want {
+		t.Errorf("fingerprint drifted across the wire:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := decoded.withDefaults().problemKey(), cfg.withDefaults().problemKey(); got != want {
+		t.Errorf("problemKey drifted across the wire:\n%s\nvs\n%s", got, want)
+	}
+
+	// The canonical form applies package defaults, so a sparse config and
+	// its explicit-default twin fingerprint and marshal identically.
+	sparse := ExperimentConfig{
+		Nodes: 1, BatchSize: 64, PromptLen: 256, GenLen: 256,
+		RPCs: PPORPCs("llama7b", "llama7b-critic"),
+	}
+	explicit := sparse.withDefaults()
+	sb, err := json.Marshal(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := json.Marshal(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb, eb) {
+		t.Errorf("sparse and defaults-applied configs marshal differently:\n%s\nvs\n%s", sb, eb)
+	}
+	if sparse.Fingerprint() != explicit.Fingerprint() {
+		t.Error("sparse and defaults-applied configs fingerprint differently")
+	}
+}
+
+// TestExperimentConfigStrictDecode: unknown fields are rejected (a typoed
+// knob must not silently plan a different experiment), wrapping
+// ErrInvalidConfig.
+func TestExperimentConfigStrictDecode(t *testing.T) {
+	var cfg ExperimentConfig
+	err := json.Unmarshal([]byte(`{"batch_size":64,"search_stepz":100}`), &cfg)
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("unknown field decoded with err = %v, want wrapped ErrInvalidConfig", err)
+	}
+	var cc ClusterConfig
+	if err := json.Unmarshal([]byte(`{"bogus":1}`), &cc); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("unknown cluster field decoded with err = %v, want wrapped ErrInvalidConfig", err)
+	}
+}
+
+// TestInterfaceTypeJSON: interface types travel by paper name, decode
+// case-insensitively, and reject unknown names with ErrInvalidConfig.
+func TestInterfaceTypeJSON(t *testing.T) {
+	for typ, name := range map[InterfaceType]string{
+		Generate: `"GENERATE"`, Inference: `"INFERENCE"`, TrainStep: `"TRAIN_STEP"`,
+	} {
+		b, err := json.Marshal(typ)
+		if err != nil || string(b) != name {
+			t.Errorf("marshal %v = %s, %v; want %s", typ, b, err, name)
+		}
+		var back InterfaceType
+		if err := json.Unmarshal([]byte(strings.ToLower(name)), &back); err != nil || back != typ {
+			t.Errorf("unmarshal %s = %v, %v; want %v", strings.ToLower(name), back, err, typ)
+		}
+	}
+	var it InterfaceType
+	if err := json.Unmarshal([]byte(`"TRAIN"`), &it); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("unknown interface type decoded with err = %v, want wrapped ErrInvalidConfig", err)
+	}
+	if _, err := json.Marshal(InterfaceType(99)); err == nil {
+		t.Error("out-of-range interface type marshaled without error")
+	}
+}
+
+// TestClusterConfigWireRoundTrip: the session config marshals with its
+// cache-capacity defaults applied and survives a round trip.
+func TestClusterConfigWireRoundTrip(t *testing.T) {
+	b, err := json.Marshal(ClusterConfig{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ClusterConfig
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	want := ClusterConfig{Nodes: 4}.withDefaults()
+	if back != want {
+		t.Errorf("round trip = %+v, want canonical %+v", back, want)
+	}
+	if back.PlanCacheEntries <= 0 || back.ProblemCacheEntries <= 0 {
+		t.Errorf("canonical form lost cache-capacity defaults: %+v", back)
+	}
+}
+
+// TestLoadExperimentBytesRoundTrip: MarshalPlan bytes rebuild an equivalent
+// runnable experiment in memory — the wire twin of SavePlan/LoadExperiment.
+func TestLoadExperimentBytesRoundTrip(t *testing.T) {
+	p := NewPlanner(ClusterConfig{})
+	cfg := plannerConfig(3, 200)
+	exp, err := p.Plan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := exp.MarshalPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := p.LoadExperimentBytes(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Plan.Fingerprint(), exp.Plan.Fingerprint(); got != want {
+		t.Fatalf("loaded fingerprint %q != original %q", got, want)
+	}
+	origRep, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedRep, err := loaded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedRep.IterationTime != origRep.IterationTime {
+		t.Errorf("loaded experiment runs in %v, original %v", loadedRep.IterationTime, origRep.IterationTime)
+	}
+
+	// Mismatched configs must be rejected, not silently re-cast.
+	other := cfg
+	other.Nodes = 2
+	if _, err := p.LoadExperimentBytes(data, other); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("cluster-shape mismatch loaded with err = %v, want wrapped ErrInvalidConfig", err)
+	}
+	if _, err := p.LoadExperimentBytes([]byte(`{"version":99`), cfg); err == nil {
+		t.Error("truncated plan bytes loaded without error")
+	}
+}
