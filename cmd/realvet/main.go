@@ -1,0 +1,201 @@
+// Command realvet machine-checks the repo's determinism, fingerprint and
+// context contracts: a multichecker over the internal/analysis suite
+// (maporder, wallclock, fieldcover, ctxerr), built only on the standard
+// library so CI can compile it from the checkout with no network and run
+// it as a blocking gate.
+//
+// Usage:
+//
+//	realvet [-json] [-fix] [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Exit status
+// is 0 when the tree is clean, 1 when any diagnostic survives the
+// //lint:realvet suppressions, 2 on tool failure. -json emits a machine-
+// readable report (one object per diagnostic, including suggested fixes);
+// -fix applies available suggested edits (the maporder sorted-keys
+// rewrite) in place — run gofmt and re-run realvet afterwards.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"realhf/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realvet:", err)
+		return 2
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realvet:", err)
+		return 2
+	}
+
+	diags, err := analysis.Run(root, analyzers, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realvet:", err)
+		return 2
+	}
+
+	if *fix {
+		if err := applyFixes(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "realvet: applying fixes:", err)
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "realvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+			for _, f := range d.Fixes {
+				fmt.Printf("\tsuggested fix: %s\n", f.Message)
+				for _, e := range f.TextEdits {
+					fmt.Printf("\t\treplace with:\n%s\n", indent(e.NewText, "\t\t| "))
+				}
+			}
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "realvet: %d contract violation(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// jsonDiagnostic is the -json wire shape: flat, stable field names, so CI
+// log scrapers and editors can consume it without knowing the internal
+// types.
+type jsonDiagnostic struct {
+	Analyzer string    `json:"analyzer"`
+	File     string    `json:"file"`
+	Line     int       `json:"line"`
+	Column   int       `json:"column"`
+	Message  string    `json:"message"`
+	Fixes    []jsonFix `json:"suggested_fixes,omitempty"`
+}
+
+type jsonFix struct {
+	Message string     `json:"message"`
+	Edits   []jsonEdit `json:"edits"`
+}
+
+type jsonEdit struct {
+	// Offsets are byte offsets into the file of the half-open replaced
+	// range.
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		}
+		for _, f := range d.Fixes {
+			jf := jsonFix{Message: f.Message}
+			for _, e := range f.TextEdits {
+				jf.Edits = append(jf.Edits, jsonEdit{
+					Start:   e.Start.Offset,
+					End:     e.End.Offset,
+					NewText: e.NewText,
+				})
+			}
+			jd.Fixes = append(jd.Fixes, jf)
+		}
+		out = append(out, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// applyFixes rewrites files with every suggested edit, back to front per
+// file so earlier offsets stay valid.
+func applyFixes(diags []analysis.Diagnostic) error {
+	type edit struct {
+		start, end int
+		newText    string
+	}
+	perFile := map[string][]edit{}
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			for _, e := range f.TextEdits {
+				perFile[e.Start.Filename] = append(perFile[e.Start.Filename], edit{
+					start:   e.Start.Offset,
+					end:     e.End.Offset,
+					newText: e.NewText,
+				})
+			}
+		}
+	}
+	for file, edits := range perFile {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i, e := range edits {
+			if i > 0 && e.end > edits[i-1].start {
+				return fmt.Errorf("%s: overlapping suggested edits; fix manually", file)
+			}
+			if e.start < 0 || e.end > len(data) {
+				return fmt.Errorf("%s: suggested edit out of range", file)
+			}
+			data = append(data[:e.start], append([]byte(e.newText), data[e.end:]...)...)
+		}
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("realvet: rewrote %s (%d fix(es)); run gofmt and re-run realvet\n", file, len(edits))
+	}
+	return nil
+}
+
+func indent(s, prefix string) string {
+	out := prefix
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += prefix
+		}
+	}
+	return out
+}

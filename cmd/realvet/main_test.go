@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"realhf/internal/analysis"
+)
+
+func sampleDiagnostics(file string) []analysis.Diagnostic {
+	return []analysis.Diagnostic{{
+		Analyzer: "maporder",
+		Pos:      token.Position{Filename: file, Line: 2, Column: 2},
+		Message:  "map iteration over m appends to out; iterate sorted keys so the result is byte-reproducible",
+		Fixes: []analysis.SuggestedFix{{
+			Message: "iterate the map's keys in sorted order",
+			TextEdits: []analysis.TextEdit{{
+				Start:   token.Position{Filename: file, Offset: 10},
+				End:     token.Position{Filename: file, Offset: 20},
+				NewText: "SORTED",
+			}},
+		}},
+	}}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, sampleDiagnostics("x.go")); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	var out []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(out))
+	}
+	d := out[0]
+	if d.Analyzer != "maporder" || d.File != "x.go" || d.Line != 2 || d.Column != 2 {
+		t.Errorf("wrong position fields: %+v", d)
+	}
+	if len(d.Fixes) != 1 || len(d.Fixes[0].Edits) != 1 {
+		t.Fatalf("suggested fixes not carried through: %+v", d)
+	}
+	e := d.Fixes[0].Edits[0]
+	if e.Start != 10 || e.End != 20 || e.NewText != "SORTED" {
+		t.Errorf("wrong edit: %+v", e)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	if got := string(bytes.TrimSpace(buf.Bytes())); got != "[]" {
+		t.Errorf("empty report = %q, want []", got)
+	}
+}
+
+func TestApplyFixes(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(file, []byte("0123456789abcdefghij-tail"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyFixes(sampleDiagnostics(file)); err != nil {
+		t.Fatalf("applyFixes: %v", err)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(data), "0123456789SORTED-tail"; got != want {
+		t.Errorf("rewritten file = %q, want %q", got, want)
+	}
+}
+
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(file, []byte("0123456789abcdefghij"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := sampleDiagnostics(file)
+	diags = append(diags, sampleDiagnostics(file)...)
+	diags[1].Fixes[0].TextEdits[0].Start.Offset = 15
+	diags[1].Fixes[0].TextEdits[0].End.Offset = 20
+	if err := applyFixes(diags); err == nil {
+		t.Fatal("overlapping edits must be rejected")
+	}
+}
+
+func TestApplyFixesRejectsOutOfRange(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(file, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyFixes(sampleDiagnostics(file)); err == nil {
+		t.Fatal("out-of-range edit must be rejected")
+	}
+}

@@ -44,6 +44,11 @@ var (
 // errors.Is(err, ErrInvalidConfig) is true for every run-option rejection.
 var ErrInvalidRunOptions = fmt.Errorf("%w: invalid run options", ErrInvalidConfig)
 
+// ErrTrainerClosed is wrapped by every Trainer method called after Close.
+// The session's resources are released; callers should open a new Trainer
+// rather than retry.
+var ErrTrainerClosed = errors.New("trainer is closed")
+
 // FeasibleMemory reports whether the experiment's chosen plan fits device
 // memory according to the planner's estimate: nil when it does, an error
 // wrapping ErrInfeasibleMemory (with the peak-device demand and the HBM

@@ -1,0 +1,206 @@
+// Package analysis is realvet: a stdlib-only static-analysis suite that
+// machine-checks the contracts DESIGN.md otherwise enforces by review —
+// byte-reproducible plans and timelines, fingerprint/wire field coverage on
+// every struct that keys a shared cache, wall-clock- and global-rand-free
+// solver paths, and context/sentinel discipline at the serve boundary.
+//
+// The package deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, SuggestedFix) so the analyzers could be
+// ported to a real vettool unchanged, but it depends only on the standard
+// library: the module is dependency-free and CI must be able to build the
+// checker from the repo itself with no network. Packages are loaded and
+// type-checked by the loader in load.go; cmd/realvet is the multichecker
+// front end and run.go applies the per-analyzer scopes declared in
+// config.go.
+//
+// Audited exceptions are suppressed in source with a comment of the form
+//
+//	//lint:realvet [analyzer...] [-- rationale]
+//
+// placed on the flagged line or the line directly above it. A suppression
+// without analyzer names silences every analyzer on that line; naming one
+// or more analyzers silences only those. The rationale after "--" is for
+// the reviewer: a suppression is an audited, explained exception, not an
+// opt-out.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one realvet check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression comments.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one type-checked package.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one package. Unlike x/tools passes it
+// also exposes the whole loaded module (Packages), which stands in for the
+// facts layer: fieldcover follows canonical-method closures into field
+// declarations of sibling packages (e.g. mesh.Mesh fields read by
+// core.Assignment's fingerprint).
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Path      string // import path of the package under analysis
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Packages maps import path -> loaded package for the whole run.
+	Packages map[string]*Package
+	// Report delivers a diagnostic. The runner filters suppressions.
+	Report func(Diagnostic)
+}
+
+// A TextEdit replaces the source in [Start, End) with NewText. Positions
+// are fully resolved (filename/offset), so consumers need no FileSet.
+type TextEdit struct {
+	Start   token.Position
+	End     token.Position
+	NewText string
+}
+
+// A SuggestedFix is an edit set that would resolve the diagnostic, in the
+// spirit of x/tools' suggested fixes: cmd/realvet prints it under the
+// diagnostic (and applies it under -fix) so CI logs are actionable.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A Diagnostic is one reported contract violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	Fixes    []SuggestedFix
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (realvet %s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// suppression is one parsed //lint:realvet comment.
+type suppression struct {
+	analyzers []string // empty = all analyzers
+}
+
+func (s suppression) matches(analyzer string) bool {
+	if len(s.analyzers) == 0 {
+		return true
+	}
+	for _, a := range s.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+const suppressionMarker = "lint:realvet"
+
+// parseSuppression decodes a comment's text if it is a realvet suppression.
+// Forms: "//lint:realvet", "//lint:realvet wallclock maporder",
+// "//lint:realvet wallclock -- time-limited mode is wall-clock by design".
+func parseSuppression(text string) (suppression, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, suppressionMarker) {
+		return suppression{}, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, suppressionMarker))
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	var s suppression
+	if rest != "" {
+		s.analyzers = strings.Fields(rest)
+	}
+	return s, true
+}
+
+// suppressionIndex maps, per file, source lines to the suppressions that
+// cover them: a suppression covers its own line and the line below it (so
+// a comment directly above the flagged statement, or trailing it, works).
+type suppressionIndex map[string]map[int][]suppression
+
+func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := suppressionIndex{}
+	add := func(file string, line int, s suppression) {
+		m := idx[file]
+		if m == nil {
+			m = map[int][]suppression{}
+			idx[file] = m
+		}
+		m[line] = append(m[line], s)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s, ok := parseSuppression(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				end := fset.Position(c.End())
+				add(pos.Filename, pos.Line, s)
+				add(pos.Filename, end.Line+1, s)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx suppressionIndex) suppressed(d Diagnostic) bool {
+	for _, s := range idx[d.Pos.Filename][d.Pos.Line] {
+		if s.matches(d.Analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSuppression reports whether the comment group carries a suppression
+// matching the analyzer — used for declaration-level exemptions (e.g. a
+// struct field excluded from fieldcover), where the diagnostic does not
+// anchor at the comment's line.
+func hasSuppression(cg *ast.CommentGroup, analyzer string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if s, ok := parseSuppression(c.Text); ok && s.matches(analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortDiagnostics orders diagnostics by position, then analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

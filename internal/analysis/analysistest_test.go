@@ -1,0 +1,128 @@
+package analysis
+
+// The analysistest harness: fixture packages under testdata/src/<name> are
+// loaded and type-checked for real (LoadFixture), one analyzer runs over
+// them (RunAnalyzer), and the diagnostics are checked line-by-line against
+// `// want` comments in the fixture source, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	out = append(out, k) // want `map iteration over m appends to out`
+//
+// Each backquoted or double-quoted string after `want` is a regexp that
+// must match the message of exactly one diagnostic reported on that line;
+// any diagnostic with no matching want, and any want with no matching
+// diagnostic, fails the test.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// runFixture applies one analyzer to testdata/src/<fixture> and checks the
+// diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	pkg, err := LoadFixture(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatalf("loading fixture %q: %v", fixture, err)
+	}
+	diags, err := RunAnalyzer(pkg, a)
+	if err != nil {
+		t.Fatalf("running %s on %q: %v", a.Name, fixture, err)
+	}
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		if !wants.match(d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no %s diagnostic matched want `%s`", w.pos, a.Name, w.re)
+		}
+	}
+}
+
+// A want is one expectation parsed from a fixture comment.
+type want struct {
+	pos     string // file:line the expectation anchors to
+	line    int
+	file    string
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet []*want
+
+// match consumes the first unmatched want on the diagnostic's line whose
+// regexp matches its message.
+func (ws wantSet) match(d Diagnostic) bool {
+	for _, w := range ws {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantComment = regexp.MustCompile(`^//\s*want\s+(.+)$`)
+
+// wantPattern extracts the quoted regexps: backquoted or double-quoted Go
+// string literals.
+var wantPattern = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, pkg *Package) wantSet {
+	t.Helper()
+	var ws wantSet
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantComment.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lits := wantPattern.FindAllString(m[1], -1)
+				if len(lits) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern: %s", pos, c.Text)
+				}
+				for _, lit := range lits {
+					src, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(src)
+					if err != nil {
+						t.Fatalf("%s: want pattern does not compile: %v", pos, err)
+					}
+					ws = append(ws, &want{
+						pos:  fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line),
+						line: pos.Line,
+						file: pos.Filename,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// assertNoDiagnostics is a helper for suites expected to come back clean.
+func assertNoDiagnostics(t *testing.T, diags []Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d diagnostic(s) on a tree that must be clean", len(diags))
+	}
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// CtxErrAnalyzer enforces the two serve-boundary contracts:
+//
+//  1. Loops: inside a function that accepts a context.Context, a
+//     potentially unbounded loop (`for {}` or `for cond {}` — no init, no
+//     post) must observe that context: select on ctx.Done(), poll
+//     ctx.Err(), or pass ctx into a callee that does. A solver or serve
+//     loop that ignores its context turns every client disconnect and
+//     deadline into a leaked goroutine still burning CPU on an abandoned
+//     request. Bounded three-clause and range loops are exempt.
+//
+//  2. Errors: in the error-boundary packages (internal/serve and the
+//     realhf public surface), fmt.Errorf must %w-wrap — the taxonomy the
+//     plan server maps onto HTTP statuses, and remote clients re-wrap into
+//     errors.Is-able sentinels (ErrInvalidConfig, ErrInfeasibleMemory,
+//     ErrSolveCanceled, ErrInvalidRunOptions), only survives the boundary
+//     if every error constructed there chains to a sentinel. A bare
+//     fmt.Errorf is invisible to errors.Is and surfaces as HTTP 500.
+var CtxErrAnalyzer = &Analyzer{
+	Name: "ctxerr",
+	Doc:  "long-running loops in ctx-aware functions must observe ctx; serve-boundary fmt.Errorf must %w-wrap an exported sentinel",
+	Run:  runCtxErr,
+}
+
+func runCtxErr(pass *Pass) error {
+	// The fmt.Errorf rule self-scopes: boundary packages from the shared
+	// config, plus analysistest fixtures (which live outside the module).
+	boundary := inPackageScope(ErrorBoundaryPackages, pass.Path) ||
+		!strings.HasPrefix(pass.Path, ModulePath)
+	loops := inPackageScope(CtxErrScopes, pass.Path) ||
+		!strings.HasPrefix(pass.Path, ModulePath)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				if loops && v.Body != nil {
+					checkCtxLoops(pass, v.Type, v.Body)
+				}
+			case *ast.FuncLit:
+				if loops {
+					checkCtxLoops(pass, v.Type, v.Body)
+				}
+			case *ast.CallExpr:
+				if boundary {
+					checkErrorfWrap(pass, v)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxLoops flags unbounded loops in fn that never observe any of its
+// context parameters.
+func checkCtxLoops(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ctxParams := map[types.Object]bool{}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						ctxParams[obj] = true
+					}
+				}
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Init != nil || fs.Post != nil {
+			return true
+		}
+		observed := false
+		if fs.Cond != nil && mentionsObjects(info, fs.Cond, ctxParams) {
+			observed = true
+		}
+		if !observed && mentionsObjects(info, fs.Body, ctxParams) {
+			observed = true
+		}
+		if !observed {
+			pass.Report(Diagnostic{
+				Analyzer: pass.Analyzer.Name,
+				Pos:      pass.Fset.Position(fs.Pos()),
+				Message:  "unbounded loop in a context-aware function never observes ctx; check ctx.Err() or select on ctx.Done() each iteration",
+			})
+		}
+		return true
+	})
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose format string has no %w
+// verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgCall(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return // dynamic format string: out of static reach
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if strings.Contains(format, "%w") {
+		return
+	}
+	pass.Report(Diagnostic{
+		Analyzer: pass.Analyzer.Name,
+		Pos:      pass.Fset.Position(call.Pos()),
+		Message:  fmt.Sprintf("fmt.Errorf at the serve boundary does not %%w-wrap a sentinel (format %q); wrap ErrInvalidConfig, ErrInfeasibleMemory, ErrSolveCanceled or ErrInvalidRunOptions so errors.Is survives the boundary", format),
+	})
+}

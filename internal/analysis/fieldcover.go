@@ -1,0 +1,358 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// FieldCoverAnalyzer enforces structural exhaustiveness on cache-key
+// structs: any struct with a canonical-encoding method (Fingerprint,
+// AppendFingerprint, MarshalJSON, MarshalPlan and their unexported twins)
+// must have every exported field read somewhere in that method's
+// same-package call closure. The fingerprint IS the identity of a plan or
+// config in the shared plan/cost caches — a field the fingerprint does not
+// cover is a field on which two distinct requests alias, which is a
+// cross-tenant cache-poisoning bug. With this check, adding a field
+// without extending the key is a realvet break at CI time instead.
+//
+// Passing (or converting) the whole struct value to a function outside the
+// closure — e.g. json.Marshal(wire(c)) — counts as reading every field:
+// reflective encoders do.
+//
+// Config-declared extras (FieldCoverExtras) pin structs that are key
+// *components* without owning a canonical method themselves (the RPC defs
+// inside ExperimentConfig's problem key; mesh and strategy inside
+// Assignment's fingerprint), including across packages.
+//
+// Exemptions: a `//lint:realvet fieldcover` comment on a field declaration
+// exempts that field everywhere; on a method declaration's doc it skips
+// that method's check; on the struct type it skips the struct.
+var FieldCoverAnalyzer = &Analyzer{
+	Name: "fieldcover",
+	Doc:  "every exported field of a cache-key struct must be covered by its Fingerprint/wire-codec methods",
+	Run:  func(pass *Pass) error { return fieldCover(pass, FieldCoverExtras) },
+}
+
+func fieldCover(pass *Pass, extras []FieldCoverExtra) error {
+	decls := packageFuncDecls(pass)
+
+	// Primary mode: structs in this package owning canonical methods.
+	for fn, decl := range decls {
+		if decl.Recv == nil || !canonicalMethodNames[fn.Name()] {
+			continue
+		}
+		if hasSuppression(decl.Doc, pass.Analyzer.Name) {
+			continue
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		named := namedOf(recv.Type())
+		if named == nil || named.Obj().Pkg() != pass.Pkg {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		if structDeclSuppressed(pass, named) {
+			continue
+		}
+		closure := methodClosure(pass, decls, fn)
+		checkCoverage(pass, decls, closure, named, fn, decl)
+	}
+
+	// Extras: key-component structs covered through another struct's
+	// canonical method.
+	for _, ex := range extras {
+		if ex.importPkg() != pass.Path {
+			continue
+		}
+		via := lookupMethod(pass, ex.ViaType, ex.ViaMethod)
+		if via == nil {
+			pass.Report(Diagnostic{
+				Analyzer: pass.Analyzer.Name,
+				Pos:      pass.Fset.Position(pass.Files[0].Pos()),
+				Message: fmt.Sprintf("fieldcover config names %s.%s as a key root, but it does not exist",
+					ex.ViaType, ex.ViaMethod),
+			})
+			continue
+		}
+		target := lookupNamedStruct(pass, ex.typeImportPkg(), ex.TypeName)
+		if target == nil {
+			pass.Report(Diagnostic{
+				Analyzer: pass.Analyzer.Name,
+				Pos:      pass.Fset.Position(pass.Files[0].Pos()),
+				Message: fmt.Sprintf("fieldcover config names struct %s/%s, but it does not exist",
+					ex.typeImportPkg(), ex.TypeName),
+			})
+			continue
+		}
+		decl := decls[via]
+		closure := methodClosure(pass, decls, via)
+		checkCoverage(pass, decls, closure, target, via, decl)
+	}
+	return nil
+}
+
+func (ex FieldCoverExtra) importPkg() string {
+	return PackageScope{Path: ex.Pkg}.importPath()
+}
+
+func (ex FieldCoverExtra) typeImportPkg() string {
+	return PackageScope{Path: ex.TypePkg}.importPath()
+}
+
+// packageFuncDecls maps the package's function objects to their
+// declarations.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// methodClosure is the set of same-package functions reachable from root
+// through direct calls.
+func methodClosure(pass *Pass, decls map[*types.Func]*ast.FuncDecl, root *types.Func) map[*types.Func]bool {
+	closure := map[*types.Func]bool{root: true}
+	work := []*types.Func{root}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+				if _, local := decls[callee]; local && !closure[callee] {
+					closure[callee] = true
+					work = append(work, callee)
+				}
+			}
+			return true
+		})
+	}
+	return closure
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkCoverage verifies that every exported, non-exempt field of target
+// is either selector-read inside the closure or covered by a whole-value
+// escape, and reports the missing ones anchored at the root method.
+func checkCoverage(pass *Pass, decls map[*types.Func]*ast.FuncDecl, closure map[*types.Func]bool, target *types.Named, root *types.Func, rootDecl *ast.FuncDecl) {
+	st, ok := target.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fieldObjs := map[types.Object]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		fieldObjs[st.Field(i)] = true
+	}
+
+	covered := map[string]bool{}
+	escaped := false
+	for fn := range closure {
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[v]; ok && sel.Kind() == types.FieldVal {
+					if fieldObjs[sel.Obj()] {
+						covered[sel.Obj().Name()] = true
+					}
+				}
+			case *ast.CallExpr:
+				if wholeValueEscape(pass, decls, closure, v, target) {
+					escaped = true
+				}
+			}
+			return true
+		})
+	}
+	if escaped {
+		return // handed whole to an external (reflective) consumer
+	}
+
+	pos := rootDecl.Name.Pos()
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() || field.Embedded() || covered[field.Name()] {
+			continue
+		}
+		if fieldDeclSuppressed(pass, field) {
+			continue
+		}
+		pass.Report(Diagnostic{
+			Analyzer: pass.Analyzer.Name,
+			Pos:      pass.Fset.Position(pos),
+			Message: fmt.Sprintf("%s.%s does not cover exported field %s.%s: the encoding is not exhaustive, so configs differing only in %s alias in fingerprint-keyed caches; extend the encoding or exempt the field with //lint:realvet fieldcover",
+				root.Type().(*types.Signature).Recv().Type().String(), root.Name(),
+				target.Obj().Name(), field.Name(), field.Name()),
+		})
+	}
+}
+
+// wholeValueEscape reports whether the call consumes a whole value of the
+// target type via an external callee — an argument (or conversion operand)
+// typed as the target, handed to a function outside the closure.
+func wholeValueEscape(pass *Pass, decls map[*types.Func]*ast.FuncDecl, closure map[*types.Func]bool, call *ast.CallExpr, target *types.Named) bool {
+	// Builtins move values around without reading their fields.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return false
+		}
+	}
+	// A call to a closure member is analyzed body-by-body, not treated as
+	// an escape; a conversion (Fun is a type) or external callee is.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; !ok || !tv.IsType() {
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee != nil && closure[callee] {
+			return false
+		}
+		if callee != nil {
+			if _, local := decls[callee]; local {
+				// Same-package callee outside the closure can only be
+				// reached through a function we didn't traverse — treat
+				// conservatively as an escape all the same.
+				return argHasTargetType(pass, call, target)
+			}
+		}
+	}
+	return argHasTargetType(pass, call, target)
+}
+
+func argHasTargetType(pass *Pass, call *ast.CallExpr, target *types.Named) bool {
+	for _, arg := range call.Args {
+		if namedOf(pass.TypesInfo.TypeOf(arg)) == target {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupMethod finds a method by receiver type name and method name in the
+// package under analysis.
+func lookupMethod(pass *Pass, typeName, methodName string) *types.Func {
+	obj := pass.Pkg.Scope().Lookup(typeName)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == methodName {
+			return m
+		}
+	}
+	return nil
+}
+
+// lookupNamedStruct resolves a struct type in any loaded package.
+func lookupNamedStruct(pass *Pass, pkgPath, typeName string) *types.Named {
+	p := pass.Packages[pkgPath]
+	if p == nil {
+		return nil
+	}
+	tn, ok := p.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// structDeclSuppressed checks the struct's type declaration for a
+// fieldcover suppression.
+func structDeclSuppressed(pass *Pass, named *types.Named) bool {
+	spec, _, doc := findTypeSpec(pass, named)
+	if spec == nil {
+		return false
+	}
+	return hasSuppression(spec.Doc, pass.Analyzer.Name) || hasSuppression(doc, pass.Analyzer.Name)
+}
+
+// fieldDeclSuppressed checks the field's declaration (possibly in another
+// loaded package) for a fieldcover suppression in its doc or line comment.
+func fieldDeclSuppressed(pass *Pass, field *types.Var) bool {
+	if field.Pkg() == nil {
+		return false
+	}
+	p := pass.Packages[field.Pkg().Path()]
+	if p == nil {
+		return false
+	}
+	for _, f := range p.Files {
+		if f.Pos() <= field.Pos() && field.Pos() < f.End() {
+			suppressed := false
+			ast.Inspect(f, func(n ast.Node) bool {
+				fl, ok := n.(*ast.Field)
+				if !ok || fl.Pos() > field.Pos() || field.Pos() >= fl.End() {
+					return !ok
+				}
+				if hasSuppression(fl.Doc, pass.Analyzer.Name) || hasSuppression(fl.Comment, pass.Analyzer.Name) {
+					suppressed = true
+				}
+				return false
+			})
+			return suppressed
+		}
+	}
+	return false
+}
+
+// findTypeSpec locates the AST TypeSpec for a named type in the pass's
+// package, returning the spec, its file, and the enclosing GenDecl doc.
+func findTypeSpec(pass *Pass, named *types.Named) (*ast.TypeSpec, *ast.File, *ast.CommentGroup) {
+	pos := named.Obj().Pos()
+	for _, f := range pass.Files {
+		if f.Pos() > pos || pos >= f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Pos() == pos {
+					return ts, f, gd.Doc
+				}
+			}
+		}
+	}
+	return nil, nil, nil
+}

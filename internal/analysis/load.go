@@ -1,0 +1,417 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// all is the full loaded package set of the run (import path -> pkg),
+	// for cross-package lookups such as fieldcover's field-declaration
+	// exemptions. The runner forwards it into every Pass.
+	all map[string]*Package
+}
+
+// The loader is self-contained: it discovers the module's packages by
+// walking the tree from go.mod, parses non-test files, topologically sorts
+// intra-module imports and type-checks each package, delegating stdlib
+// imports to go/importer's source importer (which needs no prebuilt export
+// data, no GOPATH and no network — realvet must run in a bare CI container
+// straight from the checkout).
+//
+// The fileset and the stdlib importer are process-global: source-importing
+// the heavy stdlib packages costs ~2s once, and analysistest fixtures and
+// the repo meta-test share the same warmed importer within one test binary.
+var (
+	loaderOnce sync.Once
+	loaderFset *token.FileSet
+	stdImp     types.Importer
+)
+
+func sharedImporter() (*token.FileSet, types.Importer) {
+	loaderOnce.Do(func() {
+		loaderFset = token.NewFileSet()
+		stdImp = importer.ForCompiler(loaderFset, "source", nil)
+	})
+	return loaderFset, stdImp
+}
+
+// modImporter resolves module-internal imports from the loaded set and
+// everything else through the stdlib source importer.
+type modImporter struct {
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+func (m *modImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// ModuleRoot walks up from dir to the nearest go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+}
+
+// LoadModule loads and type-checks the module rooted at root. Patterns
+// follow the go tool's shape loosely: "./..." (or no patterns) loads every
+// package; "./x/y" or an import path loads that one package (plus whatever
+// intra-module dependencies it needs, which are loaded but not returned).
+// Test files and testdata/ trees are excluded: realvet checks shipping
+// code.
+func LoadModule(root string, patterns ...string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	pathOf := func(dir string) string {
+		rel, _ := filepath.Rel(root, dir)
+		if rel == "." {
+			return modPath
+		}
+		return modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	fset, std := sharedImporter()
+	parsed := map[string]*parsedPkg{} // import path -> files
+	for _, dir := range dirs {
+		pp, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pp == nil {
+			continue
+		}
+		parsed[pathOf(dir)] = pp
+	}
+
+	order, err := topoOrder(modPath, parsed)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &modImporter{std: std, local: map[string]*types.Package{}}
+	pkgs := map[string]*Package{}
+	for _, path := range order {
+		pp := parsed[path]
+		p, err := typeCheck(fset, path, pp, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[path] = p.Pkg
+		pkgs[path] = p
+	}
+	for _, p := range pkgs {
+		p.Fset = fset
+	}
+
+	selected, err := selectPackages(root, modPath, pkgs, patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range selected {
+		p.all = pkgs
+	}
+	return selected, nil
+}
+
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+type parsedPkg struct {
+	dir   string
+	name  string
+	files []*ast.File
+	names []string // file base names, parallel to files
+}
+
+// parseDir parses the non-test Go files of one directory (nil if none).
+func parseDir(fset *token.FileSet, dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pp := &parsedPkg{dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pp.files = append(pp.files, f)
+		pp.names = append(pp.names, name)
+		pp.name = f.Name.Name
+	}
+	if len(pp.files) == 0 {
+		return nil, nil
+	}
+	return pp, nil
+}
+
+func imports(pp *parsedPkg) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range pp.files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoOrder sorts the parsed packages so every intra-module import is
+// type-checked before its importers.
+func topoOrder(modPath string, parsed map[string]*parsedPkg) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, dep := range imports(parsed[path]) {
+			if _, ok := parsed[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(parsed))
+	for path := range parsed {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+func typeCheck(fset *token.FileSet, path string, pp *parsedPkg, imp types.Importer) (*Package, error) {
+	info := newInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, fset, pp.files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: pp.dir, Files: pp.files, Pkg: tpkg, Info: info}, nil
+}
+
+func selectPackages(root, modPath string, pkgs map[string]*Package, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected := map[string]*Package{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "..." || pat == modPath+"/...":
+			for path, p := range pkgs {
+				selected[path] = p
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			prefix = strings.TrimPrefix(prefix, "./")
+			for path, p := range pkgs {
+				rel := strings.TrimPrefix(path, modPath)
+				rel = strings.TrimPrefix(rel, "/")
+				if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+					selected[path] = p
+				}
+			}
+		default:
+			path := pat
+			if strings.HasPrefix(pat, "./") || pat == "." {
+				rel := strings.TrimPrefix(pat, "./")
+				if rel == "" || rel == "." {
+					path = modPath
+				} else {
+					path = modPath + "/" + filepath.ToSlash(rel)
+				}
+			}
+			p, ok := pkgs[path]
+			if !ok {
+				return nil, fmt.Errorf("analysis: package %q not found in module %s", pat, modPath)
+			}
+			selected[path] = p
+		}
+	}
+	out := make([]*Package, 0, len(selected))
+	for _, p := range selected {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadFixture loads one analysistest fixture package: dir's files are
+// parsed and type-checked as package path == filepath.Base(dir). Imports
+// resolve against sibling directories under the same testdata/src root
+// first (so fixtures can model multi-package contracts), then the stdlib.
+func LoadFixture(dir string) (*Package, error) {
+	fset, std := sharedImporter()
+	srcRoot := filepath.Dir(dir)
+	imp := &fixtureImporter{std: std, root: srcRoot, fset: fset, loaded: map[string]*Package{}}
+	p, err := imp.load(filepath.Base(dir))
+	if err != nil {
+		return nil, err
+	}
+	all := map[string]*Package{}
+	for path, fp := range imp.loaded {
+		all[path] = fp
+	}
+	p.all = all
+	return p, nil
+}
+
+type fixtureImporter struct {
+	std    types.Importer
+	root   string
+	fset   *token.FileSet
+	loaded map[string]*Package
+}
+
+func (fi *fixtureImporter) load(path string) (*Package, error) {
+	if p, ok := fi.loaded[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	pp, err := parseDir(fi.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if pp == nil {
+		return nil, fmt.Errorf("analysis: fixture %s has no Go files", dir)
+	}
+	p, err := typeCheck(fi.fset, path, pp, fi)
+	if err != nil {
+		return nil, err
+	}
+	p.Fset = fi.fset
+	fi.loaded[path] = p
+	return p, nil
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if info, err := os.Stat(filepath.Join(fi.root, filepath.FromSlash(path))); err == nil && info.IsDir() {
+		p, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return fi.std.Import(path)
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrderAnalyzer flags `for range` over a map whose body feeds an
+// order-sensitive sink, in the deterministic packages. Go randomizes map
+// iteration order per run, so any byte-stream, slice or floating-point
+// accumulation built inside such a loop differs between two identical
+// solves — which is exactly how an unsorted range poisons the fingerprint
+// and cost caches the planner shares across tenants.
+//
+// Sinks:
+//   - append to a slice declared outside the loop — unless the slice is
+//     passed to sort.* / slices.Sort* after the loop in the same function
+//     (the canonical collect-then-sort idiom);
+//   - writes into a strings.Builder, bytes.Buffer or hash.Hash declared
+//     outside the loop (method calls, fmt.Fprint*, or passing the sink to
+//     any function) — no post-hoc sort can reorder an emitted stream;
+//   - floating-point accumulation (+= -= *= /=) into a variable declared
+//     outside the loop: float arithmetic is not associative, so the sum's
+//     low bits depend on iteration order.
+//
+// Map-to-map copies, integer accumulation and per-key independent writes
+// are order-insensitive and not flagged. The suggested fix rewrites the
+// loop to iterate sorted keys.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration feeding order-sensitive sinks (slices, hashers, builders, float accumulators) in deterministic packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, f, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	reported := map[string]bool{}
+	report := func(pos token.Pos, sink, kind string, fixable bool) {
+		msg := fmt.Sprintf("map iteration over %s %s %s; iterate sorted keys so the result is byte-reproducible",
+			exprString(pass.Fset, rs.X), kind, sink)
+		if reported[msg] {
+			return
+		}
+		reported[msg] = true
+		d := Diagnostic{
+			Analyzer: pass.Analyzer.Name,
+			Pos:      pass.Fset.Position(pos),
+			Message:  msg,
+		}
+		if fixable {
+			if fix, ok := sortedKeysFix(pass, rs); ok {
+				d.Fixes = append(d.Fixes, fix)
+			}
+		}
+		pass.Report(d)
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			checkCallSink(pass, file, rs, v, report)
+		case *ast.AssignStmt:
+			checkFloatAccum(info, rs, v, report)
+		}
+		return true
+	})
+}
+
+func checkCallSink(pass *Pass, file *ast.File, rs *ast.RangeStmt, call *ast.CallExpr, report func(token.Pos, string, string, bool)) {
+	info := pass.TypesInfo
+
+	// Builtin append whose destination slice outlives the loop. A
+	// destination indexed by the loop variables (out[k] = append(out[k],
+	// v)) is a per-key slot: each key owns its element, so iteration
+	// order cannot reorder any one slot's contents.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" && len(call.Args) > 0 {
+			dst := baseObject(info, call.Args[0])
+			if dst != nil && !declaredWithin(dst, rs) &&
+				!indexedByLoopVar(info, rs, call.Args[0]) &&
+				!sortedAfter(pass, file, rs, dst) {
+				report(call.Pos(), dst.Name(), "appends to", true)
+			}
+			return
+		}
+	}
+
+	// Method call on an order-sensitive writer (builder/buffer/hasher).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal && isOrderSensitiveWriter(s.Recv()) {
+			recv := baseObject(info, sel.X)
+			if recv != nil && !declaredWithin(recv, rs) {
+				report(call.Pos(), recv.Name(), "writes to", false)
+			}
+			return
+		}
+	}
+
+	// Any call handed an outer-scope builder/buffer/hasher (fmt.Fprintf,
+	// helper(&b, ...)): the callee emits into an ordered stream.
+	for _, arg := range call.Args {
+		t := info.TypeOf(arg)
+		if t == nil || !isOrderSensitiveWriter(t) {
+			continue
+		}
+		obj := baseObject(info, arg)
+		if obj != nil && !declaredWithin(obj, rs) {
+			report(call.Pos(), obj.Name(), "streams into", false)
+		}
+	}
+}
+
+func checkFloatAccum(info *types.Info, rs *ast.RangeStmt, as *ast.AssignStmt, report func(token.Pos, string, string, bool)) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != 1 {
+		return
+	}
+	t := info.TypeOf(as.Lhs[0])
+	if t == nil {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+		return
+	}
+	obj := baseObject(info, as.Lhs[0])
+	if obj != nil && !declaredWithin(obj, rs) && !indexedByLoopVar(info, rs, as.Lhs[0]) {
+		report(as.Pos(), obj.Name(), "accumulates floating-point into", true)
+	}
+}
+
+// indexedByLoopVar reports whether e is an index expression whose index
+// involves the range statement's key or value variable — a per-key slot
+// write, which map iteration order cannot perturb.
+func indexedByLoopVar(info *types.Info, rs *ast.RangeStmt, e ast.Expr) bool {
+	loopVars := map[types.Object]bool{}
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return false
+	}
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	return mentionsObjects(info, ix.Index, loopVars)
+}
+
+// isOrderSensitiveWriter reports whether t is a byte-stream sink whose
+// content depends on write order: strings.Builder, bytes.Buffer, or any
+// hash.Hash implementation (structurally: Write plus Sum([]byte) []byte).
+func isOrderSensitiveWriter(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	if (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer") {
+		return true
+	}
+	return hasMethod(t, "Write") && hasMethod(t, "Sum")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	// A pointer to an interface has an empty method set; only concrete
+	// types need the pointerization to see pointer-receiver methods.
+	if _, isIface := t.Underlying().(*types.Interface); !isIface {
+		if _, ok := t.(*types.Pointer); !ok {
+			t = types.NewPointer(t)
+		}
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// sortedAfter reports whether dst is passed to a sort call after the range
+// loop, inside the same enclosing function — the collect-then-sort idiom
+// that makes the collected order canonical again.
+func sortedAfter(pass *Pass, file *ast.File, rs *ast.RangeStmt, dst types.Object) bool {
+	body := enclosingFuncBody(file, rs.Pos())
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		if !isSortCall(pass.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			argObjs := map[types.Object]bool{dst: true}
+			if mentionsObjects(pass.TypesInfo, arg, argObjs) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := pkgFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true // sort.Strings/Ints/Float64s/Slice/SliceStable/Sort/Stable...
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// sortedKeysFix builds the suggested rewrite of
+//
+//	for k, v := range m { ... }
+//
+// into
+//
+//	ks := make([]K, 0, len(m))
+//	for k := range m {
+//		ks = append(ks, k)
+//	}
+//	sort.Strings(ks)            // or sort.Ints / sort.Slice
+//	for _, k := range ks {
+//		v := m[k]
+//		...
+//
+// It only fires for the simple forms the repo uses (identifier key over an
+// addressable map expression); anything fancier gets the diagnostic
+// without an edit.
+func sortedKeysFix(pass *Pass, rs *ast.RangeStmt) (SuggestedFix, bool) {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Tok != token.DEFINE {
+		return SuggestedFix{}, false
+	}
+	mt, ok := pass.TypesInfo.TypeOf(rs.X).Underlying().(*types.Map)
+	if !ok {
+		return SuggestedFix{}, false
+	}
+	keyType := mt.Key()
+	var keyTypeStr, sortCall string
+	ks := key.Name + "s"
+	if b, ok := keyType.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 && types.Identical(keyType, types.Typ[types.String]) {
+		keyTypeStr, sortCall = "string", fmt.Sprintf("sort.Strings(%s)", ks)
+	} else if ok && b.Kind() == types.Int {
+		keyTypeStr, sortCall = "int", fmt.Sprintf("sort.Ints(%s)", ks)
+	} else {
+		keyTypeStr = types.TypeString(keyType, types.RelativeTo(pass.Pkg))
+		sortCall = fmt.Sprintf("sort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })", ks, ks, ks)
+	}
+
+	m := exprString(pass.Fset, rs.X)
+	indent := strings.Repeat("\t", pass.Fset.Position(rs.Pos()).Column-1)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", ks, keyTypeStr, m)
+	fmt.Fprintf(&b, "%sfor %s := range %s {\n", indent, key.Name, m)
+	fmt.Fprintf(&b, "%s\t%s = append(%s, %s)\n", indent, ks, ks, key.Name)
+	fmt.Fprintf(&b, "%s}\n", indent)
+	fmt.Fprintf(&b, "%s%s\n", indent, sortCall)
+	fmt.Fprintf(&b, "%sfor _, %s := range %s {\n", indent, key.Name, ks)
+	if val, ok := rs.Value.(*ast.Ident); ok && val.Name != "_" {
+		fmt.Fprintf(&b, "%s\t%s := %s[%s]\n", indent, val.Name, m, key.Name)
+	}
+
+	return SuggestedFix{
+		Message: "iterate the map's keys in sorted order (add \"sort\" to imports if missing)",
+		TextEdits: []TextEdit{{
+			Start:   pass.Fset.Position(rs.Pos()),
+			End:     pass.Fset.Position(rs.Body.Lbrace + 1),
+			NewText: strings.TrimSuffix(b.String(), "\n"),
+		}},
+	}, true
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, MapOrderAnalyzer, "maporder")
+}
+
+func TestWallClockFixture(t *testing.T) {
+	runFixture(t, WallClockAnalyzer, "wallclock")
+}
+
+func TestCtxErrFixture(t *testing.T) {
+	runFixture(t, CtxErrAnalyzer, "ctxerr")
+}
+
+func TestFieldCoverFixture(t *testing.T) {
+	runFixture(t, FieldCoverAnalyzer, "fieldcover")
+}
+
+// TestRepoIsClean is the meta-test behind the CI gate: the full configured
+// suite, run over the repository itself, must report nothing. A failure
+// here reproduces exactly what `go run ./cmd/realvet ./...` would print.
+func TestRepoIsClean(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	diags, err := Run(root, Analyzers(), "./...")
+	if err != nil {
+		t.Fatalf("running realvet on the repo: %v", err)
+	}
+	assertNoDiagnostics(t, diags)
+}
+
+func TestParseSuppression(t *testing.T) {
+	cases := []struct {
+		text     string
+		ok       bool
+		matchAll bool
+		matches  []string
+		misses   []string
+	}{
+		{"// regular comment", false, false, nil, nil},
+		{"//lint:realvet", true, true, []string{"maporder", "wallclock"}, nil},
+		{"//lint:realvet wallclock", true, false, []string{"wallclock"}, []string{"maporder"}},
+		{"//lint:realvet wallclock maporder", true, false, []string{"wallclock", "maporder"}, []string{"ctxerr"}},
+		{"//lint:realvet wallclock -- budget is wall-clock by design", true, false, []string{"wallclock"}, []string{"maporder"}},
+		{"//lint:realvet -- everything here is audited", true, true, []string{"ctxerr"}, nil},
+	}
+	for _, c := range cases {
+		s, ok := parseSuppression(c.text)
+		if ok != c.ok {
+			t.Errorf("parseSuppression(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if got := len(s.analyzers) == 0; got != c.matchAll {
+			t.Errorf("parseSuppression(%q) matches-all = %v, want %v", c.text, got, c.matchAll)
+		}
+		for _, a := range c.matches {
+			if !s.matches(a) {
+				t.Errorf("parseSuppression(%q) does not match %q", c.text, a)
+			}
+		}
+		for _, a := range c.misses {
+			if s.matches(a) {
+				t.Errorf("parseSuppression(%q) unexpectedly matches %q", c.text, a)
+			}
+		}
+	}
+}
+
+func TestAnalyzersStable(t *testing.T) {
+	want := []string{"maporder", "wallclock", "fieldcover", "ctxerr"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	seen := map[string]bool{}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Doc or Run", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// Run loads the module rooted at root, applies every analyzer to the
+// packages matching patterns under the scopes declared in config.go,
+// filters //lint:realvet suppressions, and returns the surviving
+// diagnostics in stable position order.
+func Run(root string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := LoadModule(root, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ds...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	suppr := buildSuppressionIndex(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		files, enabled := scopeFor(a.Name, pkg.Path)
+		if !enabled {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Path:      pkg.Path,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			Packages:  pkg.all,
+			Report: func(d Diagnostic) {
+				if !inScope(files, d.Pos.Filename) {
+					return
+				}
+				if suppr.suppressed(d) {
+					return
+				}
+				out = append(out, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return out, nil
+}
+
+// RunAnalyzer applies one analyzer to one loaded package with suppression
+// filtering but without config scoping — the analysistest harness and
+// fixture-driven tests use it directly.
+func RunAnalyzer(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	suppr := buildSuppressionIndex(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Path:      pkg.Path,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.Info,
+		Packages:  pkg.all,
+		Report: func(d Diagnostic) {
+			if suppr.suppressed(d) {
+				return
+			}
+			out = append(out, d)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sortDiagnostics(out)
+	return out, nil
+}

@@ -1,0 +1,82 @@
+// Package ctxerr exercises the realvet ctxerr analyzer: unbounded loops in
+// context-aware functions must observe their context, and boundary
+// fmt.Errorf calls must %w-wrap; polite loops, bounded loops, wrapped
+// errors and audited suppressions are not flagged.
+package ctxerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the fixture's sentinel.
+var ErrBad = errors.New("bad input")
+
+// Spin never observes its context: a disconnect leaks the goroutine.
+func Spin(ctx context.Context, work func() bool) {
+	for work() { // want `unbounded loop in a context-aware function never observes ctx`
+	}
+}
+
+// Polite polls ctx.Err each iteration.
+func Polite(ctx context.Context, work func() bool) error {
+	for work() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Selective selects on ctx.Done.
+func Selective(ctx context.Context, ch <-chan int) int {
+	for {
+		select {
+		case <-ctx.Done():
+			return 0
+		case v := <-ch:
+			if v > 0 {
+				return v
+			}
+		}
+	}
+}
+
+// Bounded three-clause loops terminate on their own and are exempt.
+func Bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// NoCtx has no context parameter, so its loops are out of scope.
+func NoCtx(work func() bool) {
+	for work() {
+	}
+}
+
+// AuditedSpin carries an explicit suppression and stays silent.
+func AuditedSpin(ctx context.Context, work func() bool) {
+	//lint:realvet ctxerr -- fixture: audited exception
+	for work() {
+	}
+}
+
+// Bare constructs an error invisible to errors.Is across the boundary.
+func Bare(name string) error {
+	return fmt.Errorf("unknown call %q", name) // want `does not %w-wrap a sentinel`
+}
+
+// Wrapped chains to a sentinel, so errors.Is survives the boundary.
+func Wrapped(name string) error {
+	return fmt.Errorf("unknown call %q: %w", name, ErrBad)
+}
+
+// AuditedBare carries an explicit suppression and stays silent.
+func AuditedBare() error {
+	//lint:realvet ctxerr -- fixture: audited exception
+	return fmt.Errorf("audited")
+}

@@ -1,0 +1,97 @@
+// Package fieldcover exercises the realvet fieldcover analyzer: a struct
+// with a canonical-encoding method must have every exported field read in
+// that method's same-package call closure; whole-value escapes to
+// reflective encoders count as full coverage, and declaration-level
+// suppressions exempt fields, methods or whole structs.
+package fieldcover
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Leaky's fingerprint reads A but not B: two values differing only in B
+// alias under the same key.
+type Leaky struct {
+	A int
+	B int
+}
+
+// Fingerprint covers A only.
+func (l Leaky) Fingerprint() string { // want `Fingerprint does not cover exported field Leaky\.B`
+	return fmt.Sprintf("a=%d", l.A)
+}
+
+// Full covers both of its exported fields directly; the unexported field
+// is outside the contract.
+type Full struct {
+	A int
+	B int
+	c int
+}
+
+// Fingerprint reads every exported field.
+func (f Full) Fingerprint() string {
+	_ = f.c
+	return fmt.Sprintf("a=%d;b=%d", f.A, f.B)
+}
+
+// Pair is covered across the method's same-package call closure: the root
+// reads X, a helper reads Y.
+type Pair struct {
+	X int
+	Y int
+}
+
+// Fingerprint reads X and delegates Y to rest.
+func (p Pair) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d;", p.X)
+	p.rest(&b)
+	return b.String()
+}
+
+func (p Pair) rest(b *strings.Builder) {
+	fmt.Fprintf(b, "y=%d;", p.Y)
+}
+
+// Escaped hands its whole value to a reflective encoder, which reads every
+// field.
+type Escaped struct {
+	A int
+	B int
+}
+
+// wireEscaped drops the methods so the stock encoding applies.
+type wireEscaped Escaped
+
+// MarshalJSON encodes through the conversion: full coverage by escape.
+func (e Escaped) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireEscaped(e))
+}
+
+// Keyed audits B out of the key at the field declaration.
+type Keyed struct {
+	A int
+	//lint:realvet fieldcover -- fixture: derived from A, never independently set
+	B int
+}
+
+// Fingerprint covers A; B is exempt by suppression.
+func (k Keyed) Fingerprint() string {
+	return fmt.Sprintf("a=%d", k.A)
+}
+
+// Exempt's whole encoding is audited out at the struct declaration.
+//
+//lint:realvet fieldcover -- fixture: audited exception
+type Exempt struct {
+	A int
+	B int
+}
+
+// Fingerprint covers nothing, but the struct is exempt.
+func (e Exempt) Fingerprint() string {
+	return "constant"
+}

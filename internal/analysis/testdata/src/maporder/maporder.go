@@ -1,0 +1,101 @@
+// Package maporder exercises the realvet maporder analyzer: map ranges
+// feeding order-sensitive sinks (outer slices, builders, hashers, float
+// accumulators) are flagged; collect-then-sort, per-key slots, integer
+// accumulation, map-to-map copies and audited suppressions are not.
+package maporder
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Keys leaks iteration order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration over m appends to out`
+	}
+	return out
+}
+
+// SortedKeys is the canonical collect-then-sort idiom: the collected order
+// is re-canonicalized before use, so nothing is flagged.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render streams map entries into an outer builder in iteration order.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		b.WriteString(k)           // want `map iteration over m writes to b`
+		fmt.Fprintf(&b, "=%d;", v) // want `map iteration over m streams into b`
+	}
+	return b.String()
+}
+
+// Digest hashes entries in iteration order.
+func Digest(m map[string]int) []byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want `map iteration over m writes to h`
+	}
+	return h.Sum(nil)
+}
+
+// Total accumulates floating point in iteration order: addition is not
+// associative, so the sum's low bits depend on the order.
+func Total(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `map iteration over m accumulates floating-point into total`
+	}
+	return total
+}
+
+// Count is integer accumulation: associative, order-insensitive.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// GroupBy appends into per-key slots: each key owns its element, so
+// iteration order cannot reorder any one slot.
+func GroupBy(pairs map[string][]string) map[string][]string {
+	out := map[string][]string{}
+	for k, vs := range pairs {
+		for _, v := range vs {
+			out[k] = append(out[k], v)
+		}
+	}
+	return out
+}
+
+// Mirror is a map-to-map copy: order-insensitive.
+func Mirror(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Audited carries an explicit suppression and stays silent.
+func Audited(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:realvet maporder -- fixture: audited exception
+		out = append(out, k)
+	}
+	return out
+}

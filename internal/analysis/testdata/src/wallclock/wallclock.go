@@ -1,0 +1,34 @@
+// Package wallclock exercises the realvet wallclock analyzer: wall-clock
+// reads and the global math/rand source are flagged; explicitly seeded
+// generators, methods on them, and audited suppressions are not.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock twice.
+func Elapsed() time.Duration {
+	start := time.Now()      // want `wall-clock read time.Now`
+	return time.Since(start) // want `wall-clock read time.Since`
+}
+
+// Draw samples the shared global source, whose sequence depends on
+// unrelated goroutines and process history.
+func Draw() int {
+	return rand.Intn(10) // want `global math/rand call rand.Intn`
+}
+
+// Seeded builds and uses an explicitly seeded generator: replayable, so
+// constructors and *rand.Rand methods are allowed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Audited carries an explicit suppression and stays silent.
+func Audited() time.Time {
+	//lint:realvet wallclock -- fixture: audited exception
+	return time.Now()
+}

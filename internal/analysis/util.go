@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// exprString renders an expression as source text (for messages).
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// baseObject resolves the root object of an expression: the x in x,
+// x.F.G, x[i], *x or &x. It returns nil for anything not rooted in a
+// plain identifier (calls, literals).
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return info.Uses[v]
+		case *ast.SelectorExpr:
+			// Only follow field chains; a package-qualified or method
+			// selection has no storage root in this function.
+			if sel, ok := info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+				e = v.X
+				continue
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return nil
+			}
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether the object's declaration lies inside the
+// node's source range.
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// pkgFunc resolves a call to a package-level function (no receiver) and
+// returns it, or nil.
+func pkgFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// isPkgCall reports whether a call targets pkgPath.name (a package-level
+// function).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := pkgFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch v := t.(type) {
+		case *types.Pointer:
+			t = v.Elem()
+		case *types.Alias:
+			t = types.Unalias(v)
+		case *types.Named:
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// structOf returns the struct underlying a (possibly pointer-to) named
+// type, or nil.
+func structOf(t types.Type) *types.Struct {
+	n := namedOf(t)
+	if n == nil {
+		if s, ok := t.Underlying().(*types.Struct); ok {
+			return s
+		}
+		return nil
+	}
+	s, _ := n.Underlying().(*types.Struct)
+	return s
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// mentionsObjects reports whether the subtree references any of the given
+// objects.
+func mentionsObjects(info *types.Info, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody returns the innermost function body (FuncDecl or
+// FuncLit) containing pos in the file.
+func enclosingFuncBody(f *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Body != nil {
+				body = v.Body
+			}
+		case *ast.FuncLit:
+			body = v.Body
+		}
+		return true
+	})
+	return body
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallClockAnalyzer forbids wall-clock reads (time.Now, time.Since) and
+// the global math/rand source in the deterministic packages. The solvers
+// are seeded — every random draw must come through a *rand.Rand the chain
+// owns (rand.New(rand.NewSource(seed))) so a fixed seed replays the plan
+// bit for bit, and time must come through the virtual clocks and
+// Options.TimeLimit plumbing the runtime and search already use. The
+// explicitly nondeterministic wall-time features (the TimeLimit budget and
+// ProgressPoint.Elapsed) carry audited //lint:realvet suppressions.
+var WallClockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/time.Since and global math/rand in deterministic packages; solvers must use seeded RNGs and virtual clocks",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are seeded and fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					pass.Report(Diagnostic{
+						Analyzer: pass.Analyzer.Name,
+						Pos:      pass.Fset.Position(sel.Pos()),
+						Message: fmt.Sprintf("wall-clock read time.%s in a deterministic package; thread a start time / virtual clock through instead",
+							fn.Name()),
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				// Constructors build explicitly seeded sources; everything
+				// else draws from the shared global source, whose sequence
+				// depends on unrelated goroutines and process history.
+				if !strings.HasPrefix(fn.Name(), "New") {
+					pass.Report(Diagnostic{
+						Analyzer: pass.Analyzer.Name,
+						Pos:      pass.Fset.Position(sel.Pos()),
+						Message: fmt.Sprintf("global math/rand call rand.%s in a deterministic package; use the chain's seeded *rand.Rand",
+							fn.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -85,10 +85,16 @@ func ModelsFor(g *dfg.Graph, actor, critic model.Config) map[dfg.Role]ModelSpec 
 // with the same assignment every iteration, as in the paper's plans
 // (Tables 2–5).
 type Plan struct {
+	// Cluster and Models are problem inputs, not solver decisions: the
+	// fingerprint covers them indirectly through the problem key that the
+	// cache composes with it, so the plan fingerprint itself hashes only
+	// the graph shape and the assignments.
+	//lint:realvet fieldcover -- problem input; covered by the cache's problem key, not the plan fingerprint
 	Cluster hardware.Cluster
 	Graph   *dfg.Graph
-	Models  map[dfg.Role]ModelSpec
-	Assign  map[string]Assignment
+	//lint:realvet fieldcover -- problem input; covered by the cache's problem key, not the plan fingerprint
+	Models map[dfg.Role]ModelSpec
+	Assign map[string]Assignment
 }
 
 // NewPlan allocates an empty plan for the graph.

@@ -17,7 +17,11 @@ import (
 type Mesh struct {
 	First int // global index of the first GPU
 	Count int // number of GPUs
-	M     int // GPUs per node of the owning cluster
+	// M is fixed by the cluster geometry, which the cache's problem key
+	// already covers; two assignments on the same cluster cannot differ
+	// only in M.
+	//lint:realvet fieldcover -- cluster geometry; covered by the problem key, not the assignment fingerprint
+	M int // GPUs per node of the owning cluster
 }
 
 // New builds a mesh and validates it against the §4 placement rule.

@@ -1,7 +1,10 @@
 package realloc
 
 import (
+	"sort"
+
 	"realhf/internal/core"
+	"realhf/internal/dfg"
 	"realhf/internal/gpumodel"
 	"realhf/internal/hardware"
 )
@@ -451,7 +454,13 @@ func DataCost(cs *CostScratch, totalBytes int64, src, dst core.Assignment, hw ha
 // replan charging and the experiments' drift ablation.
 func SwitchCost(old, next *core.Plan, hw hardware.Cluster) float64 {
 	busy := map[int]float64{}
-	for role, ms := range old.Models {
+	roles := make([]dfg.Role, 0, len(old.Models))
+	for role := range old.Models {
+		roles = append(roles, role)
+	}
+	sort.Slice(roles, func(i, j int) bool { return roles[i] < roles[j] })
+	for _, role := range roles {
+		ms := old.Models[role]
 		oldHome, ok := old.HomeOf(role)
 		if !ok {
 			continue

@@ -47,7 +47,7 @@ func (exhaustiveSolver) Solve(ctx context.Context, prob Problem, opt Options) (S
 	hits0, misses0 := cache.Hits(), cache.Misses()
 	ev := newPlanEvaluator(e, cache, p)
 
-	start := time.Now()
+	start := time.Now() //lint:realvet wallclock -- TimeLimit budget and Elapsed trace are wall-clock features; plan bytes never depend on them
 	best := math.Inf(1)
 	var bestPlan *core.Plan
 	// One trial plan, mutated in place per combination; it is cloned only
@@ -69,6 +69,7 @@ func (exhaustiveSolver) Solve(ctx context.Context, prob Problem, opt Options) (S
 			if pc.Cost < best {
 				best, bestPlan = pc.Cost, trial.Clone()
 				if opt.Progress != nil {
+					//lint:realvet wallclock -- Elapsed is observability-only, excluded from fingerprints
 					opt.Progress(ProgressPoint{Elapsed: time.Since(start), Step: steps, BestCost: best})
 				}
 			}
@@ -99,6 +100,7 @@ func (exhaustiveSolver) Solve(ctx context.Context, prob Problem, opt Options) (S
 		CacheMisses: cache.Misses() - misses0,
 		Trace: []ProgressPoint{
 			{Step: 0, BestCost: best},
+			//lint:realvet wallclock -- Elapsed is observability-only, excluded from fingerprints
 			{Elapsed: time.Since(start), Step: steps, BestCost: best},
 		},
 	}

@@ -86,6 +86,7 @@ func (c *chainState) run(ctx context.Context, sp *space, opt Options, start time
 			c.done = true
 			return
 		}
+		//lint:realvet wallclock -- TimeLimit mode is wall-clock by design; deterministic runs pin MaxSteps
 		if opt.MaxSteps == 0 && time.Since(start) > opt.TimeLimit {
 			c.done = true
 			return
@@ -123,7 +124,7 @@ func (c *chainState) run(ctx context.Context, sp *space, opt Options, start time
 					// so small that the chain random-walks forever.
 					c.beta = 10 / math.Max(c.bestCost, 1e-9)
 				}
-				c.record(ProgressPoint{
+				c.record(ProgressPoint{ //lint:realvet wallclock -- Elapsed is observability-only, excluded from fingerprints
 					Elapsed: time.Since(start), Step: step, BestCost: c.bestCost,
 				})
 			}
@@ -131,7 +132,7 @@ func (c *chainState) run(ctx context.Context, sp *space, opt Options, start time
 			c.cur.Assign[name] = prev
 		}
 		if step%opt.ProgressEvery == 0 {
-			c.record(ProgressPoint{
+			c.record(ProgressPoint{ //lint:realvet wallclock -- Elapsed is observability-only, excluded from fingerprints
 				Elapsed: time.Since(start), Step: step, BestCost: c.bestCost,
 			})
 		}
@@ -216,7 +217,7 @@ func (parallelMCMCSolver) Solve(ctx context.Context, prob Problem, opt Options) 
 // solveMCMC is the shared engine behind both MCMC solvers.
 func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solution, Stats, error) {
 	opt = opt.withDefaults()
-	start := time.Now()
+	start := time.Now() //lint:realvet wallclock -- anchors the TimeLimit budget and Elapsed trace, never plan content
 	e, p := prob.estimator(), prob.Plan
 
 	if err := ctx.Err(); err != nil {
@@ -276,6 +277,7 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 			progress: progress,
 		}
 	}
+	//lint:realvet wallclock -- Elapsed is observability-only, excluded from fingerprints
 	initial := ProgressPoint{Elapsed: time.Since(start), Step: 0, BestCost: curCost}
 	cs[0].record(initial)
 
@@ -330,6 +332,7 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 	if chains == 1 {
 		st.Trace = cs[0].trace
 	} else {
+		//lint:realvet wallclock -- Elapsed is observability-only, excluded from fingerprints
 		st.Trace = mergeTraces(cs, initial, winner.bestCost, time.Since(start))
 	}
 	return Solution{Plan: winner.best, Cost: winRes.Cost, Estimate: winRes}, st, nil

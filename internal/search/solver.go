@@ -518,7 +518,13 @@ func shortlist(e *estimator.Estimator, p *core.Plan, sets map[string][]core.Assi
 	byName := nodesByName(p)
 	out := map[string][]core.Assignment{}
 	var log10 float64
-	for name, cands := range sets {
+	names := make([]string, 0, len(sets))
+	for name := range sets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cands := sets[name]
 		n := byName[name]
 		type scored struct {
 			a core.Assignment

@@ -123,7 +123,7 @@ type Server struct {
 // New creates a Server over cfg.Planner.
 func New(cfg Config) (*Server, error) {
 	if cfg.Planner == nil {
-		return nil, fmt.Errorf("serve: Config.Planner is required")
+		return nil, fmt.Errorf("serve: Config.Planner is required: %w", realhf.ErrInvalidConfig)
 	}
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())

@@ -226,7 +226,7 @@ func (p *Planner) Train(ctx context.Context, cfg ExperimentConfig, opts ...Train
 		fn(&o)
 	}
 	if o.threshold <= 0 {
-		return nil, fmt.Errorf("realhf: replan threshold %v must be positive", o.threshold)
+		return nil, fmt.Errorf("realhf: replan threshold %v must be positive: %w", o.threshold, ErrInvalidConfig)
 	}
 	run := DefaultRunOptions()
 	if o.hasRunOpts {
@@ -251,7 +251,7 @@ func (p *Planner) Train(ctx context.Context, cfg ExperimentConfig, opts ...Train
 	if o.genLen != nil {
 		g0 := o.genLen(0)
 		if g0 <= 0 {
-			return nil, fmt.Errorf("realhf: GenLen schedule returned %d for iteration 0", g0)
+			return nil, fmt.Errorf("realhf: GenLen schedule returned %d for iteration 0: %w", g0, ErrInvalidConfig)
 		}
 		cfg.GenLen = g0
 	}
@@ -297,7 +297,7 @@ func (t *Trainer) step(ctx context.Context) (*IterationReport, error) {
 
 func (t *Trainer) stepLocked(ctx context.Context) (*IterationReport, error) {
 	if t.closed {
-		return nil, fmt.Errorf("realhf: trainer is closed")
+		return nil, fmt.Errorf("realhf: %w", ErrTrainerClosed)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("realhf: training step cancelled: %w", err)
@@ -307,7 +307,7 @@ func (t *Trainer) stepLocked(ctx context.Context) (*IterationReport, error) {
 	if t.opts.genLen != nil {
 		g := t.opts.genLen(iter)
 		if g <= 0 {
-			return nil, fmt.Errorf("realhf: GenLen schedule returned %d for iteration %d", g, iter)
+			return nil, fmt.Errorf("realhf: GenLen schedule returned %d for iteration %d: %w", g, iter, ErrInvalidConfig)
 		}
 		workCfg.GenLen = g
 	}
@@ -512,10 +512,10 @@ func (t *Trainer) Resize(ctx context.Context, nodes int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		return fmt.Errorf("realhf: trainer is closed")
+		return fmt.Errorf("realhf: %w", ErrTrainerClosed)
 	}
 	if nodes <= 0 {
-		return fmt.Errorf("realhf: resize to %d nodes", nodes)
+		return fmt.Errorf("realhf: resize to %d nodes: %w", nodes, ErrInvalidConfig)
 	}
 	if nodes == t.base.Nodes {
 		return nil

@@ -121,6 +121,12 @@ func (cc *ClusterConfig) UnmarshalJSON(data []byte) error {
 // SavePlan writes to disk and the plan service returns over the wire. Feed
 // them to Planner.LoadExperimentBytes (with the experiment's config) to
 // rebuild a runnable Experiment.
+//
+// Only the plan travels: the config, estimator and diagnostics are
+// reconstructed on load from the caller-supplied ExperimentConfig, so the
+// other Experiment fields are deliberately outside these bytes.
+//
+//lint:realvet fieldcover -- plan-only wire format; the config side travels separately via ExperimentConfig's canonical JSON
 func (e *Experiment) MarshalPlan() ([]byte, error) {
 	return e.Plan.MarshalJSON()
 }
