@@ -373,6 +373,53 @@ func BenchmarkOverlapAwareSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkOffloadSearch pins the offload-as-a-plan-dimension ablation: the
+// memory-constrained 4-GPU workload (7B trainable actor/critic, 34B frozen
+// ref/reward) solved by the default search — whose optimum is infeasible —
+// and by the same seed/step budget with OffloadSearch, whose winner must fit
+// device memory by parking frozen calls in host memory. Every metric is a
+// deterministic virtual quantity gated exactly by the CI bench-regression
+// check: default-oom must stay 1, offload-oom must stay 0.
+func BenchmarkOffloadSearch(b *testing.B) {
+	b.ReportAllocs()
+	pr, err := experiments.OffloadProblem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const offloadBenchSteps = 400
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		def, err := pr.SolveWith("mcmc", search.Options{MaxSteps: offloadBenchSteps, Seed: 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, err := pr.SolveWith("mcmc", search.Options{
+			MaxSteps: offloadBenchSteps, Seed: 60, OffloadSearch: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		offloaded := 0
+		for _, a := range off.Plan.Assign {
+			if a.Offload {
+				offloaded++
+			}
+		}
+		b.ReportMetric(boolMetric(def.Estimate.OOM), "default-oom")
+		b.ReportMetric(boolMetric(off.Estimate.OOM), "offload-oom")
+		b.ReportMetric(float64(offloaded), "offloaded-calls")
+		b.ReportMetric(float64(def.Estimate.MaxMem)/(1<<30), "default-maxmem-gb")
+		b.ReportMetric(float64(off.Estimate.MaxMem)/(1<<30), "offload-maxmem-gb")
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
 // BenchmarkTrainerReplan pins the training-campaign ablation behind the
 // Trainer session API: the same 4-iteration generation-length ramp
 // (1024 -> 128, the paper's §8 drift scenario) executed by a frozen-plan

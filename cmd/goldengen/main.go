@@ -50,6 +50,29 @@ func goldenProblem() (*core.Plan, *estimator.Estimator) {
 	return p, estimator.New(cluster, costers)
 }
 
+// offloadProblem is the memory-constrained single-node problem of the
+// offload-aware section: 7B trainable actor/critic with 34B frozen
+// ref/reward on 4 GPUs, where only plans that park the frozen weights in
+// host memory fit HBM (mirrors TestOffloadSearchFindsFeasiblePlan).
+func offloadProblem() (*core.Plan, *estimator.Estimator) {
+	cluster := hardware.DefaultCluster(1)
+	cluster.GPUsPerNode = 4
+	g := dfg.BuildPPO(dfg.Spec{Batch: 64, PromptLen: 256, GenLen: 256, Iterations: 1})
+	models := core.PPOModels(model.LLaMA7B, model.LLaMA7B)
+	ref := models[dfg.Ref]
+	ref.Cfg = model.LLaMA34B
+	models[dfg.Ref] = ref
+	rw := models[dfg.Reward]
+	rw.Cfg = model.LLaMA34B
+	models[dfg.Reward] = rw
+	p := core.NewPlan(cluster, g, models)
+	costers := map[dfg.Role]gpumodel.ModelCoster{}
+	for role, ms := range p.Models {
+		costers[role] = gpumodel.NewOracle(cluster, ms.Cfg)
+	}
+	return p, estimator.New(cluster, costers)
+}
+
 // splitPlan is the fixed reallocation-heavy placement (actor half / critic
 // half with re-parallelized generation) whose overlapped run must beat the
 // serialized baseline.
@@ -163,6 +186,31 @@ func main() {
 			log.Fatalf("overlap-aware seed %d: %v", seed, err)
 		}
 		fmt.Fprintf(&b, "mcmc-overlap seed=%d steps=%d cost=%.9e fp=%s %s\n",
+			seed, *steps, res.Cost, res.Plan.Fingerprint(), runs)
+	}
+
+	// Offload-aware section: the memory-constrained 4-GPU problem solved
+	// with per-call host offload as a searched dimension
+	// (search.Options.OffloadSearch) and the memory ledger as a hard
+	// constraint. The sections above must stay byte-identical — the knob
+	// defaults off and touches no default-path RNG stream.
+	b.WriteString("# Offload-aware search (host offload searched per call, memory as a hard constraint).\n")
+	for _, seed := range []int64{1, 7, 42} {
+		plan, est := offloadProblem()
+		res, err := search.Solve(context.Background(), "mcmc",
+			search.Problem{Est: est, Plan: plan},
+			search.Options{MaxSteps: *steps, Seed: seed, OffloadSearch: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Estimate.OOM {
+			log.Fatalf("offload-aware seed %d: chosen plan infeasible (max %d bytes)", seed, res.Estimate.MaxMem)
+		}
+		runs, err := runBoth(res.Plan, false)
+		if err != nil {
+			log.Fatalf("offload-aware seed %d: %v", seed, err)
+		}
+		fmt.Fprintf(&b, "mcmc-offload seed=%d steps=%d cost=%.9e fp=%s %s\n",
 			seed, *steps, res.Cost, res.Plan.Fingerprint(), runs)
 	}
 

@@ -24,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, plans (tables 2-6), fig2, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, ablation, overlap, overlap-search, limitation, drift, all")
+		"experiment: table1, plans (tables 2-6), fig2, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, ablation, overlap, overlap-search, offload, limitation, drift, all")
 	quick := flag.Bool("quick", false, "reduced scale for fast runs")
 	steps := flag.Int("steps", 0, "override MCMC search steps")
 	flag.Parse()
@@ -204,6 +204,17 @@ func main() {
 			ovNodes = 2
 		}
 		_, out, err := experiments.AblationOverlapSearch(ovNodes, searchSteps)
+		return out, err
+	})
+
+	run("offload", func() (string, error) {
+		offSteps := searchSteps
+		if offSteps > 1500 {
+			// The 4-GPU problem is small; the solve converges well within
+			// the quick budget.
+			offSteps = 1500
+		}
+		_, out, err := experiments.AblationOffload(offSteps)
 		return out, err
 	})
 

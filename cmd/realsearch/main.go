@@ -12,6 +12,7 @@
 //	realsearch -actor 7b -critic 7b -solver parallel-mcmc -chains 8
 //	realsearch -actor 7b -critic 7b -algo remax -progress -save plan.json
 //	realsearch -actor 7b -critic 7b -overlap-cost
+//	realsearch -actor 7b -critic 34b -nodes 1 -offload-search
 //	realsearch -actor 7b -critic 7b -steps 20000 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -53,6 +54,8 @@ func run() int {
 	seed := flag.Int64("seed", 1, "search seed")
 	overlapCost := flag.Bool("overlap-cost", false,
 		"search under the overlapped-engine cost semantics (optimize the makespan the overlapped runtime achieves)")
+	offloadSearch := flag.Bool("offload-search", false,
+		"search per-call host offload of frozen models as a plan dimension, with device memory as a hard constraint")
 	heuristic := flag.Bool("heuristic", false, "print the heuristic plan instead of searching")
 	progress := flag.Bool("progress", false, "stream best-cost improvements while searching")
 	save := flag.String("save", "", "write the resulting plan to this JSON file")
@@ -93,6 +96,7 @@ func run() int {
 	cfg.SearchSteps, cfg.Seed = *steps, *seed
 	cfg.Solver, cfg.SearchParallelism = *solver, *chains
 	cfg.PlanForOverlap = *overlapCost
+	cfg.OffloadSearch = *offloadSearch
 	if *chains > 1 && cfg.Solver == "mcmc" {
 		// An explicit -solver mcmc with -chains N has always meant the
 		// multi-chain engine (chain 0 reproduces the sequential walker).

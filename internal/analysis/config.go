@@ -117,6 +117,12 @@ var FieldCoverExtras = []FieldCoverExtra{
 		TypePkg: "internal/parallel", TypeName: "Strategy"},
 	{Pkg: "internal/core", ViaType: "Assignment", ViaMethod: "AppendFingerprint",
 		TypePkg: "internal/mesh", TypeName: "Mesh"},
+	// Assignment is also the value payload of the plan wire codec: every
+	// exported field (including the searched Offload decision) must reach
+	// the serialized form, or a saved plan would silently drop plan
+	// dimensions on the round trip.
+	{Pkg: "internal/core", ViaType: "Plan", ViaMethod: "MarshalJSON",
+		TypePkg: "internal/core", TypeName: "Assignment"},
 }
 
 // Analyzers returns the full suite in a stable order.

@@ -133,7 +133,8 @@ const DataBytesPerToken = 8
 //     from the role's home (the bf16 weights are broadcast from the home
 //     layout to the call layout, Fig. 6), gated by the call's same-role
 //     parameter-version parents;
-//   - a KindOffload node precedes calls of roles parked in host memory;
+//   - a KindOffload node precedes any call whose assignment sources its
+//     parameters from host memory (Assignment.Offload);
 //   - a KindDataTransfer node replaces each data edge whose endpoints have
 //     different assignments.
 func (p *Plan) BuildAugGraph() (*AugGraph, error) {
@@ -175,7 +176,7 @@ func (p *Plan) BuildAugGraph() (*AugGraph, error) {
 		}
 
 		switch {
-		case ms.OffloadWhenIdle && !ms.Trainable:
+		case a.Offload && !ms.Trainable:
 			// Reload weights from host memory onto the call mesh.
 			off := g.addNode(&AugNode{
 				Kind:   KindOffload,

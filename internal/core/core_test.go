@@ -166,10 +166,20 @@ func TestReallocGatedByVersionParent(t *testing.T) {
 }
 
 func TestOffloadNodes(t *testing.T) {
+	// Offload is a per-call plan decision; the model-level OffloadWhenIdle
+	// flag is only a warm-start hint that ApplyOffloadHints folds onto the
+	// assignments. Exercise exactly that path.
 	p := ppoPlan(t, 2, 1)
 	ms := p.Models[dfg.Ref]
 	ms.OffloadWhenIdle = true
 	p.Models[dfg.Ref] = ms
+	if !p.HasOffloadHints() {
+		t.Fatal("hinted frozen role not reported by HasOffloadHints")
+	}
+	p.ApplyOffloadHints()
+	if !p.RoleOffloaded(dfg.Ref) {
+		t.Fatal("ApplyOffloadHints did not offload every Ref call")
+	}
 	g, err := p.BuildAugGraph()
 	if err != nil {
 		t.Fatal(err)

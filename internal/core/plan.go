@@ -19,19 +19,35 @@ import (
 	"realhf/internal/parallel"
 )
 
-// Assignment binds a model function call to a device mesh and a strategy.
+// Assignment binds a model function call to a device mesh and a strategy,
+// plus the per-call host-offload decision: whether the role's parameters are
+// parked in host memory between calls and reloaded over PCIe for this one.
 type Assignment struct {
 	Mesh     mesh.Mesh
 	Strategy parallel.Strategy
+	// Offload sources this call's parameters from host memory instead of
+	// device-resident weights: a KindOffload reload node precedes the call,
+	// and the role's resting bf16 copy leaves the static ledger. It is a
+	// searched plan dimension (ROADMAP "offload-aware planning"), only legal
+	// on frozen roles — trainable roles keep optimizer state on-device.
+	Offload bool
 }
 
-// Equal reports whether two assignments are identical.
+// Equal reports whether two assignments place the call identically: same
+// mesh and same strategy. Offload is deliberately excluded — it decides how
+// the parameters reach the mesh (host reload vs device-resident), not where
+// the call runs, so it must not fabricate realloc or data-transfer nodes
+// between calls that share a layout.
 func (a Assignment) Equal(b Assignment) bool {
 	return a.Mesh.Equal(b.Mesh) && a.Strategy == b.Strategy
 }
 
 func (a Assignment) String() string {
-	return fmt.Sprintf("%s %s", a.Mesh, a.Strategy)
+	s := fmt.Sprintf("%s %s", a.Mesh, a.Strategy)
+	if a.Offload {
+		s += " offload"
+	}
+	return s
 }
 
 // ModelSpec describes one of the plan's LLMs.
@@ -42,8 +58,10 @@ type ModelSpec struct {
 	IsCritic bool
 	// Trainable models keep gradients and optimizer state at their home.
 	Trainable bool
-	// OffloadWhenIdle parks a frozen model's weights in host memory between
-	// calls, trading PCIe reloads for HBM.
+	// OffloadWhenIdle is a warm-start hint: seed the search with this frozen
+	// role's calls offloaded to host memory. The decision itself lives on the
+	// plan (Assignment.Offload); the hint only shapes initial candidates and
+	// is rejected on trainable roles at validation time.
 	OffloadWhenIdle bool
 }
 
@@ -156,6 +174,12 @@ func (p *Plan) Validate() error {
 		if !ok {
 			return fmt.Errorf("core: no model spec for role %q", n.Role)
 		}
+		if ms.Trainable && ms.OffloadWhenIdle {
+			return fmt.Errorf("core: role %q is trainable but hints OffloadWhenIdle: optimizer state pins trainable parameters on-device", n.Role)
+		}
+		if a.Offload && ms.Trainable {
+			return fmt.Errorf("core: call %q offloads trainable role %q: optimizer state pins trainable parameters on-device", n.Name, n.Role)
+		}
 		batch := n.Work.Batch
 		if n.Type == dfg.Train && n.Work.MiniBatches > 1 {
 			batch /= n.Work.MiniBatches
@@ -191,6 +215,54 @@ func (p *Plan) HomeOf(role dfg.Role) (Assignment, bool) {
 	return first, found
 }
 
+// RoleOffloaded reports whether the role's parameters rest in host memory
+// under this plan: every one of its assigned calls sources parameters
+// through a host reload (Assignment.Offload). A partially offloaded role
+// still needs its device-resident copy between the non-offloaded calls, so
+// only the all-calls case releases the static ledger.
+func (p *Plan) RoleOffloaded(role dfg.Role) bool {
+	found := false
+	for _, n := range p.Graph.Nodes {
+		if n.Role != role {
+			continue
+		}
+		a, ok := p.Assign[n.Name]
+		if !ok || !a.Offload {
+			return false
+		}
+		found = true
+	}
+	return found
+}
+
+// HasOffloadHints reports whether any frozen role carries the
+// OffloadWhenIdle warm-start hint — the search seeds such problems with the
+// hinted calls offloaded.
+func (p *Plan) HasOffloadHints() bool {
+	for _, ms := range p.Models {
+		if ms.OffloadWhenIdle && !ms.Trainable {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyOffloadHints sets Assignment.Offload on every assigned call of every
+// hinted frozen role, in place — how a legacy OffloadWhenIdle input becomes
+// a warm-start plan state.
+func (p *Plan) ApplyOffloadHints() {
+	for _, n := range p.Graph.Nodes {
+		ms := p.Models[n.Role]
+		if !ms.OffloadWhenIdle || ms.Trainable {
+			continue
+		}
+		if a, ok := p.Assign[n.Name]; ok && !a.Offload {
+			a.Offload = true
+			p.Assign[n.Name] = a
+		}
+	}
+}
+
 // Signature returns a canonical string identifying the plan's assignments,
 // used by the search engine to deduplicate visited states.
 func (p *Plan) Signature() string {
@@ -224,6 +296,9 @@ func (a Assignment) appendFingerprint(b []byte) []byte {
 	b = strconv.AppendInt(b, int64(a.Strategy.MicroBatches), 10)
 	if a.Strategy.ZeRO3 {
 		b = append(b, 'z')
+	}
+	if a.Offload {
+		b = append(b, 'o')
 	}
 	return b
 }

@@ -40,6 +40,7 @@ type assignmentJSON struct {
 	PP           int  `json:"pp"`
 	MicroBatches int  `json:"micro_batches"`
 	ZeRO3        bool `json:"zero3,omitempty"`
+	Offload      bool `json:"offload,omitempty"`
 }
 
 // MarshalJSON encodes the plan for storage; the dataflow graph itself is not
@@ -64,6 +65,7 @@ func (p *Plan) MarshalJSON() ([]byte, error) {
 			MeshFirst: a.Mesh.First, MeshCount: a.Mesh.Count,
 			DP: a.Strategy.DP, TP: a.Strategy.TP, PP: a.Strategy.PP,
 			MicroBatches: a.Strategy.MicroBatches, ZeRO3: a.Strategy.ZeRO3,
+			Offload: a.Offload,
 		}
 	}
 	return json.MarshalIndent(out, "", "  ")
@@ -117,20 +119,27 @@ func UnmarshalPlan(data []byte, g *dfg.Graph) (*Plan, error) {
 		}
 	}
 	p := NewPlan(cluster, g, models)
-	known := map[string]bool{}
+	roleOf := map[string]dfg.Role{}
 	for _, n := range g.Nodes {
-		known[n.Name] = true
+		roleOf[n.Name] = n.Role
 	}
 	for name, aj := range in.Assignments {
-		if !known[name] {
+		role, known := roleOf[name]
+		if !known {
 			return nil, fmt.Errorf("core: stored plan assigns call %q, which the graph does not contain", name)
 		}
+		// Plans written before Offload was a per-call decision carried only
+		// the model-level OffloadWhenIdle flag; map it onto every call of the
+		// hinted frozen role so old plan files keep their offload semantics.
+		ms := models[role]
+		offload := aj.Offload || (ms.OffloadWhenIdle && !ms.Trainable)
 		p.Assign[name] = Assignment{
 			Mesh: mesh.Mesh{First: aj.MeshFirst, Count: aj.MeshCount, M: cluster.GPUsPerNode},
 			Strategy: parallel.Strategy{
 				DP: aj.DP, TP: aj.TP, PP: aj.PP,
 				MicroBatches: aj.MicroBatches, ZeRO3: aj.ZeRO3,
 			},
+			Offload: offload,
 		}
 	}
 	if err := p.Validate(); err != nil {

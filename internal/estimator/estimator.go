@@ -119,7 +119,7 @@ func (e *Estimator) NodeDuration(p *core.Plan, n *core.AugNode) (float64, error)
 		return d, nil
 	case core.KindOffload:
 		perGPU := n.Bytes / int64(n.Dst.Mesh.NumGPUs())
-		return e.Comm.Offload(perGPU), nil
+		return e.Comm.OffloadTransfer(perGPU), nil
 	}
 	return 0, fmt.Errorf("estimator: unknown node kind %v", n.Kind)
 }
@@ -433,7 +433,7 @@ func StaticPerGPU(p *core.Plan) []int64 {
 		b := memory.Static(ms.Params(), home.Strategy, memory.StaticOpts{
 			Trainable:            ms.Trainable,
 			ShardOptimizerOverDP: true,
-			OffloadParams:        ms.OffloadWhenIdle && !ms.Trainable,
+			OffloadParams:        p.RoleOffloaded(role),
 		})
 		for gpu := home.Mesh.First; gpu < home.Mesh.First+home.Mesh.Count; gpu++ {
 			static[gpu] += b
@@ -452,17 +452,18 @@ func CallActiveBytes(p *core.Plan, node *dfg.Node) int64 {
 	act := memory.Active(spec)
 	a := p.Assign[node.Name]
 	home, _ := p.HomeOf(node.Role)
-	if a.Equal(home) {
+	// The discount applies only when the call reuses the device-resident home
+	// copy: an offloaded call sources its weights from host memory, so the
+	// working copy is genuinely extra bytes even at home.
+	if a.Equal(home) && !a.Offload {
 		ms := p.Models[node.Role]
-		if !(ms.OffloadWhenIdle && !ms.Trainable) {
-			shard := memory.ParamShardBytes(ms.Params(), a.Strategy)
-			if a.Strategy.ZeRO3 {
-				shard = ms.Params() / int64(a.Strategy.DP) * 2
-			}
-			act -= shard
-			if act < 0 {
-				act = 0
-			}
+		shard := memory.ParamShardBytes(ms.Params(), a.Strategy)
+		if a.Strategy.ZeRO3 {
+			shard = ms.Params() / int64(a.Strategy.DP) * 2
+		}
+		act -= shard
+		if act < 0 {
+			act = 0
 		}
 	}
 	return act

@@ -70,11 +70,15 @@ type commDurKey struct {
 // the two fields collapses the endpoint-pair space by the number of
 // micro-batch variants per layout, which is what lets the session's comm
 // memo saturate during a search instead of recosting a fresh pair on nearly
-// every proposal. The resulting durations are bit-identical by construction;
-// the differential delta-vs-full test enforces it.
+// every proposal. Offload is likewise dropped: an offload node's cost is a
+// pure function of its Bytes (already in the key), and realloc/data
+// endpoints never carry it into their schedules. The resulting durations are
+// bit-identical by construction; the differential delta-vs-full test
+// enforces it.
 func canonCommAssignment(a core.Assignment) core.Assignment {
 	a.Strategy.MicroBatches = 0
 	a.Strategy.ZeRO3 = false
+	a.Offload = false
 	return a
 }
 
@@ -94,10 +98,15 @@ type nodeSig struct {
 	src, dst core.Assignment
 }
 
-// staticKey identifies one role's resting-memory inputs.
+// staticKey identifies one role's resting-memory inputs. off is the plan's
+// RoleOffloaded verdict: a flip on any of the role's calls — not just the
+// home call — moves the resting bf16 copy in or out of host memory, so the
+// (role, home) pair alone would go stale under single-offload-flip
+// mutations.
 type staticKey struct {
 	role dfg.Role
 	home core.Assignment
+	off  bool
 }
 
 // activeSigEntry caches one call's last active-bytes computation for the
@@ -152,6 +161,7 @@ type EvalSession struct {
 	topo        []*dfg.Node
 	parents     [][]*dfg.Node
 	homeCall    map[dfg.Role]string
+	roleCalls   map[dfg.Role][]string
 	firstByName []*dfg.Node
 	numGPUs     int
 
@@ -292,10 +302,12 @@ func (s *EvalSession) prepare(p *core.Plan) error {
 	}
 	s.firstByName = s.firstByName[:0]
 	seen := make(map[string]bool, len(p.Graph.Nodes))
+	s.roleCalls = make(map[dfg.Role][]string, 4)
 	for _, n := range p.Graph.Nodes {
 		if !seen[n.Name] {
 			seen[n.Name] = true
 			s.firstByName = append(s.firstByName, n)
+			s.roleCalls[n.Role] = append(s.roleCalls[n.Role], n.Name)
 		}
 	}
 	s.activeSig = make([]activeSigEntry, len(s.firstByName))
@@ -363,7 +375,7 @@ func (s *EvalSession) build(p *core.Plan) error {
 		home := p.Assign[s.homeCall[d.Role]]
 
 		switch {
-		case ms.OffloadWhenIdle && !ms.Trainable:
+		case a.Offload && !ms.Trainable:
 			off := s.node(core.KindOffload)
 			off.Role = d.Role
 			off.Meshes = append(off.Meshes, a.Mesh)
@@ -426,11 +438,16 @@ func (s *EvalSession) build(p *core.Plan) error {
 }
 
 // sigOf assembles one arena node's duration signature. Call nodes use their
-// (name, assignment); transfer-style nodes their (kind, role, bytes) and
-// canonicalized endpoints.
+// (name, assignment) with Offload cleared — a call's compute duration does
+// not depend on how its weights arrived, so a single offload flip re-costs
+// only the appearing/disappearing offload node, not the call — and
+// transfer-style nodes their (kind, role, bytes) and canonicalized
+// endpoints.
 func sigOf(p *core.Plan, n *core.AugNode) nodeSig {
 	if n.Kind == core.KindCall {
-		return nodeSig{kind: core.KindCall, name: n.Call.Name, src: p.Assign[n.Call.Name]}
+		a := p.Assign[n.Call.Name]
+		a.Offload = false
+		return nodeSig{kind: core.KindCall, name: n.Call.Name, src: a}
 	}
 	return nodeSig{
 		kind: n.Kind, role: n.Role, bytes: n.Bytes,
@@ -471,6 +488,21 @@ func (s *EvalSession) duration(p *core.Plan, n *core.AugNode, sig nodeSig) (floa
 	return d, nil
 }
 
+// roleOffloaded mirrors core.Plan.RoleOffloaded over the prepared per-role
+// call lists: true iff the role has calls and every one offloads.
+func (s *EvalSession) roleOffloaded(p *core.Plan, role dfg.Role) bool {
+	names := s.roleCalls[role]
+	if len(names) == 0 {
+		return false
+	}
+	for _, name := range names {
+		if !p.Assign[name].Offload {
+			return false
+		}
+	}
+	return true
+}
+
 // maxMem computes MaxMem(Gp) with the same arithmetic as Estimator.memory,
 // memoizing the per-role static footprint and per-call active footprint.
 func (s *EvalSession) maxMem(p *core.Plan) int64 {
@@ -490,13 +522,14 @@ func (s *EvalSession) maxMem(p *core.Plan) int64 {
 			continue // role not in the graph, as HomeOf reports
 		}
 		home := p.Assign[homeName]
-		k := staticKey{role: role, home: home}
+		off := s.roleOffloaded(p, role)
+		k := staticKey{role: role, home: home, off: off}
 		b, ok := s.staticMem[k]
 		if !ok {
 			b = memory.Static(ms.Params(), home.Strategy, memory.StaticOpts{
 				Trainable:            ms.Trainable,
 				ShardOptimizerOverDP: true,
-				OffloadParams:        ms.OffloadWhenIdle && !ms.Trainable,
+				OffloadParams:        off,
 			})
 			s.staticMem[k] = b
 		}

@@ -57,6 +57,33 @@ func TestAblationOverlapSearch(t *testing.T) {
 	}
 }
 
+func TestAblationOffload(t *testing.T) {
+	row, out, err := AblationOffload(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.DefaultOOM {
+		t.Errorf("default search found a feasible plan (%.1f GB); the workload is not memory-constrained enough",
+			row.DefaultMaxMemGB)
+	}
+	if row.OffloadOOM {
+		t.Errorf("offload-aware search still infeasible at %.1f GB peak", row.OffloadMaxMemGB)
+	}
+	if row.OffloadedCalls == 0 {
+		t.Error("feasible plan parks no calls in host memory")
+	}
+	if row.OffloadMaxMemGB >= row.DefaultMaxMemGB {
+		t.Errorf("offload plan peak %.1f GB not below default's %.1f GB",
+			row.OffloadMaxMemGB, row.DefaultMaxMemGB)
+	}
+	if row.E2E <= 0 {
+		t.Errorf("feasible plan did not execute: E2E %.2fs", row.E2E)
+	}
+	if !strings.Contains(out, "searched plan dimension") {
+		t.Error("missing report header")
+	}
+}
+
 func TestAblationCrossIter(t *testing.T) {
 	// A critic larger than the actor makes the critic-side tail spill past
 	// the iteration boundary — the slack cross-iteration overlap exploits.

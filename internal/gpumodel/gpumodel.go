@@ -200,6 +200,14 @@ func (c Comm) Offload(bytes int64) float64 {
 	return float64(bytes) / c.HW.Net.PCIeBandwidth
 }
 
+// OffloadTransfer is the host<->device lane cost of one offload/reload node:
+// the PCIe bandwidth term of Offload plus the fixed per-transfer setup
+// latency. The estimator and the runtime master share this formula so
+// planned and executed offload timelines agree bit for bit.
+func (c Comm) OffloadTransfer(bytes int64) float64 {
+	return float64(bytes)/c.HW.Net.PCIeBandwidth + c.HW.Net.PCIeLatency
+}
+
 // CallSpec identifies one model function call to be costed.
 type CallSpec struct {
 	Cfg      model.Config

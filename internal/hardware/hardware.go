@@ -50,6 +50,11 @@ type Interconnect struct {
 	CollectiveSyncOverhead float64
 	// PCIeBandwidth is the host<->device bandwidth used by offloading.
 	PCIeBandwidth float64
+	// PCIeLatency is the fixed per-transfer setup cost of a host<->device
+	// copy in seconds (DMA ring submission plus the first-descriptor fetch).
+	// Offload reloads are few and large, so this term is small next to the
+	// bandwidth term, but it keeps tiny-shard reloads from costing zero.
+	PCIeLatency float64
 }
 
 // Cluster is a homogeneous (N, M) device grid, the paper's cluster device
@@ -86,6 +91,7 @@ func DefaultInterconnect() Interconnect {
 		InterNodeLatency:       12e-6,
 		CollectiveSyncOverhead: 9e-6,
 		PCIeBandwidth:          55e9,
+		PCIeLatency:            10e-6,
 	}
 }
 

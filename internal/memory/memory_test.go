@@ -50,6 +50,43 @@ func TestFrozenModelsKeepOnlyWeights(t *testing.T) {
 	}
 }
 
+func TestOffloadZeRO3Interaction(t *testing.T) {
+	// OffloadParams removes exactly the resting bf16 weight shard under
+	// every sharding regime; gradient and optimizer bytes are untouched.
+	p := model.LLaMA70B.Params()
+
+	z3 := parallel.Strategy{DP: 8, TP: 1, PP: 1, MicroBatches: 1, ZeRO3: true}
+	resident := Static(p, z3, StaticOpts{})
+	offloaded := Static(p, z3, StaticOpts{OffloadParams: true})
+	if offloaded != 0 {
+		t.Errorf("frozen ZeRO-3 model with offloaded params should hold 0 device bytes, got %d", offloaded)
+	}
+	if want := p / 8 * 2; resident-offloaded != want {
+		t.Errorf("ZeRO-3 offload saved %d bytes, want the DP-sharded weight shard %d", resident-offloaded, want)
+	}
+
+	// A trainable ZeRO-3 model keeps its gradient+optimizer shard even when
+	// OffloadParams is (nonsensically) set: the ledger never lets offload
+	// hide training state.
+	trained := Static(p, z3, StaticOpts{Trainable: true, OffloadParams: true})
+	if want := p / 8 * (2 + 12); trained != want {
+		t.Errorf("trainable ZeRO-3 + offload static = %d, want grads+optimizer %d", trained, want)
+	}
+
+	// Dense sharding: offload saves the TP×PP weight shard, optimizer
+	// sharding still applies on top.
+	dense := parallel.Strategy{DP: 4, TP: 2, PP: 4, MicroBatches: 1}
+	full := Static(p, dense, StaticOpts{Trainable: true, ShardOptimizerOverDP: true})
+	off := Static(p, dense, StaticOpts{Trainable: true, ShardOptimizerOverDP: true, OffloadParams: true})
+	if want := p / 8 * 2; full-off != want {
+		t.Errorf("dense offload saved %d bytes, want the TP×PP weight shard %d", full-off, want)
+	}
+	if off != p/8*2+p/8*12/4 {
+		t.Errorf("dense trainable+offload static = %d, want gradients + DP-sharded optimizer %d",
+			off, p/8*2+p/8*12/4)
+	}
+}
+
 func spec(typ dfg.CallType, cfg model.Config, st parallel.Strategy, nodes int) gpumodel.CallSpec {
 	return gpumodel.CallSpec{
 		Cfg: cfg, Type: typ,

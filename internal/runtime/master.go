@@ -207,7 +207,7 @@ func (m *Master) prepare(g *core.AugGraph) ([]nodeWork, error) {
 			w.dur = maxBusy(w.durByGPU)
 		case core.KindOffload:
 			perGPU := n.Bytes / int64(n.Dst.Mesh.NumGPUs())
-			w.dur = m.comm.Offload(perGPU)
+			w.dur = m.comm.OffloadTransfer(perGPU)
 		}
 		works[n.ID] = w
 	}

@@ -88,7 +88,7 @@ func mutatePlans(t *testing.T, e *estimator.Estimator, sess *estimator.EvalSessi
 // from-scratch evaluation returns.
 func TestDeltaCostingMatchesFullEvaluate(t *testing.T) {
 	p, e := newProblem(t, 1, model.LLaMA7B, model.LLaMA7B, 64, 256, 256)
-	sets, _, err := candidateSets(p, PruneNone)
+	sets, _, err := candidateSets(p, PruneNone, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,12 +104,43 @@ func TestDeltaCostingMatchesFullEvaluate(t *testing.T) {
 	}
 }
 
+// TestDeltaCostingOffloadFlips extends the differential property to the
+// offload axis: with offload-aware candidate sets the mutation walk flips
+// per-call host offload on frozen roles (same mesh and strategy, toggled
+// Offload), exercising the session's offload-node re-costing and the
+// role-residency static-memory memo under every cost semantics.
+func TestDeltaCostingOffloadFlips(t *testing.T) {
+	p, e := newProblem(t, 1, model.LLaMA7B, model.LLaMA7B, 64, 256, 256)
+	sets, _, err := candidateSets(p, PruneNone, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offloaded := 0
+	for _, cs := range sets {
+		for _, a := range cs {
+			if a.Offload {
+				offloaded++
+			}
+		}
+	}
+	if offloaded == 0 {
+		t.Fatal("offload-aware candidate sets contain no offloaded assignment")
+	}
+	for name, ev := range deltaVariants(t, e) {
+		t.Run(name, func(t *testing.T) {
+			cache := NewCostCache()
+			sess := ev.NewSession(cache.DurationFunc(ev))
+			mutatePlans(t, ev, sess, p, sets, 23, 6, 20)
+		})
+	}
+}
+
 // TestDeltaCostingDirectFallback covers the cache-free configuration: a
 // session with a nil fallback (estimator.NodeDuration directly) must agree
 // with full evaluation just the same.
 func TestDeltaCostingDirectFallback(t *testing.T) {
 	p, e := newProblem(t, 2, model.LLaMA7B, model.LLaMA7B, 128, 256, 256)
-	sets, _, err := candidateSets(p, PruneAggressive)
+	sets, _, err := candidateSets(p, PruneAggressive, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +155,7 @@ func TestDeltaCostingDirectFallback(t *testing.T) {
 // are chain-local, the cache underneath is shared.
 func TestDeltaCostingConcurrentSharedCache(t *testing.T) {
 	p, e := newProblem(t, 1, model.LLaMA7B, model.LLaMA7B, 64, 256, 256)
-	sets, _, err := candidateSets(p, PruneModerate)
+	sets, _, err := candidateSets(p, PruneModerate, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,7 @@ func (exhaustiveSolver) Solve(ctx context.Context, prob Problem, opt Options) (S
 	if topK <= 0 {
 		topK = 6
 	}
-	sets, spaceLog10, err := candidateSets(p, PruneNone)
+	sets, spaceLog10, err := candidateSets(p, PruneNone, opt.OffloadSearch)
 	if err != nil {
 		return Solution{}, Stats{}, err
 	}
@@ -49,6 +49,7 @@ func (exhaustiveSolver) Solve(ctx context.Context, prob Problem, opt Options) (S
 
 	start := time.Now() //lint:realvet wallclock -- TimeLimit budget and Elapsed trace are wall-clock features; plan bytes never depend on them
 	best := math.Inf(1)
+	bestOOM := true
 	var bestPlan *core.Plan
 	// One trial plan, mutated in place per combination; it is cloned only
 	// when it improves on the best seen so far.
@@ -66,8 +67,14 @@ func (exhaustiveSolver) Solve(ctx context.Context, prob Problem, opt Options) (S
 		}
 		if pc, err := ev.cost(trial); err == nil {
 			steps++
-			if pc.Cost < best {
-				best, bestPlan = pc.Cost, trial.Clone()
+			better := pc.Cost < best
+			if opt.OffloadSearch {
+				// Hard memory constraint: a feasible plan beats any
+				// infeasible one before costs are compared.
+				better = bestPlan == nil || betterUnderHardMem(pc.OOM, pc.Cost, bestOOM, best)
+			}
+			if better {
+				best, bestOOM, bestPlan = pc.Cost, pc.OOM, trial.Clone()
 				if opt.Progress != nil {
 					//lint:realvet wallclock -- Elapsed is observability-only, excluded from fingerprints
 					opt.Progress(ProgressPoint{Elapsed: time.Since(start), Step: steps, BestCost: best})

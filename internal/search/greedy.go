@@ -14,7 +14,7 @@ import (
 // memory (§5.2 notes this seed is usually sub-optimal for exactly those
 // reasons).
 func Greedy(e *estimator.Estimator, p *core.Plan, lvl PruneLevel) (*core.Plan, error) {
-	sets, _, err := candidateSets(p, lvl)
+	sets, _, err := candidateSets(p, lvl, false)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +59,7 @@ func (greedySolver) Solve(ctx context.Context, prob Problem, opt Options) (Solut
 		return Solution{}, Stats{}, fmt.Errorf("search: greedy solve cancelled: %w", err)
 	}
 	e := prob.estimator()
-	sets, spaceLog10, err := candidateSets(prob.Plan, opt.Prune)
+	sets, spaceLog10, err := candidateSets(prob.Plan, opt.Prune, opt.OffloadSearch)
 	if err != nil {
 		return Solution{}, Stats{}, err
 	}

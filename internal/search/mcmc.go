@@ -40,6 +40,12 @@ type chainState struct {
 	curCost  float64
 	best     *core.Plan
 	bestCost float64
+	// curOOM/bestOOM track feasibility alongside the costs; under hardMem
+	// (Options.OffloadSearch) best tracking, exchange and the final winner
+	// reduction order candidates feasibility-first.
+	curOOM  bool
+	bestOOM bool
+	hardMem bool
 
 	ev *planEvaluator
 
@@ -52,6 +58,18 @@ type chainState struct {
 	progress  func(ProgressPoint)
 	done      bool
 	cancelled bool
+}
+
+// betterUnderHardMem orders (OOM, cost) pairs with the memory ledger as a
+// hard constraint: any feasible plan beats any infeasible one, and cost
+// breaks ties within a feasibility class. The OOM-penalized cost almost
+// always agrees, but the lexicographic order makes the guarantee absolute —
+// a search that saw a fitting plan can never return an over-memory one.
+func betterUnderHardMem(oom bool, cost float64, bestOOM bool, bestCost float64) bool {
+	if oom != bestOOM {
+		return !oom
+	}
+	return cost < bestCost
 }
 
 // copyAssign overwrites dst's assignments with src's without reallocating the
@@ -99,12 +117,24 @@ func (c *chainState) run(ctx context.Context, sp *space, opt Options, start time
 			return
 		}
 		c.step = step
-		// Propose: re-draw one call's assignment uniformly.
+		// Propose: re-draw one call's assignment uniformly. With the offload
+		// axis enabled, a quarter of the proposals on frozen-role calls are
+		// dedicated single-offload-flip moves: they keep the layout and toggle
+		// only the host-offload bit, the mutation the incremental evaluator
+		// re-costs at a single augmented-graph node. (The gate draws RNG only
+		// under OffloadSearch, so default solves keep their historical
+		// streams.)
 		ni := c.rng.Intn(len(sp.names))
 		name := sp.names[ni]
 		cands := sp.cands[ni]
 		prev := c.cur.Assign[name]
-		c.cur.Assign[name] = cands[c.rng.Intn(len(cands))]
+		if opt.OffloadSearch && sp.frozen[ni] && c.rng.Intn(4) == 0 {
+			next := prev
+			next.Offload = !prev.Offload
+			c.cur.Assign[name] = next
+		} else {
+			c.cur.Assign[name] = cands[c.rng.Intn(len(cands))]
+		}
 		pc, err := c.ev.cost(c.cur)
 		if err != nil {
 			c.cur.Assign[name] = prev
@@ -114,9 +144,15 @@ func (c *chainState) run(ctx context.Context, sp *space, opt Options, start time
 			c.rng.Float64() < math.Exp(-c.beta*(pc.Cost-c.curCost))
 		if accept {
 			c.curCost = pc.Cost
+			c.curOOM = pc.OOM
 			c.accepted++
-			if pc.Cost < c.bestCost {
+			better := pc.Cost < c.bestCost
+			if c.hardMem {
+				better = betterUnderHardMem(pc.OOM, pc.Cost, c.bestOOM, c.bestCost)
+			}
+			if better {
 				c.bestCost = pc.Cost
+				c.bestOOM = pc.OOM
 				copyAssign(c.best, c.cur)
 				if c.adaptiveBeta {
 					// Keep the temperature matched to the current cost
@@ -148,25 +184,36 @@ func (c *chainState) run(ctx context.Context, sp *space, opt Options, start time
 // Seeds are Plan.Validated first: the compact path assumes individually
 // legal assignments, and an illegal caller-provided plan must fail (for
 // InitialPlan) or be skipped (for SeedCandidates) exactly as it did when
-// the full evaluator re-validated every plan.
+// the full evaluator re-validated every plan. Plans seeding a problem whose
+// models carry OffloadWhenIdle hints get the hints folded onto their
+// per-call offload bits (on clones — caller plans are never mutated), so
+// legacy hinted inputs warm-start the search exactly where the fixed-input
+// semantics would have pinned them.
 func startState(ev *planEvaluator, e *estimator.Estimator,
-	p *core.Plan, sp *space, opt Options) (*core.Plan, float64, error) {
+	p *core.Plan, sp *space, opt Options) (*core.Plan, estimator.PlanCost, error) {
+	applyHints := p.HasOffloadHints()
 	var cur *core.Plan
 	var err error
 	if opt.InitialPlan != nil {
 		cur = opt.InitialPlan.Clone()
+		if applyHints {
+			cur.ApplyOffloadHints()
+		}
 		if err := cur.Validate(); err != nil {
-			return nil, 0, err
+			return nil, estimator.PlanCost{}, err
 		}
 	} else {
 		cur, err = greedyFromSets(e, p, sp.fullSets)
 		if err != nil {
-			return nil, 0, err
+			return nil, estimator.PlanCost{}, err
+		}
+		if applyHints {
+			cur.ApplyOffloadHints()
 		}
 	}
 	curPC, err := ev.cost(cur)
 	if err != nil {
-		return nil, 0, err
+		return nil, estimator.PlanCost{}, err
 	}
 	// Warm starts: adopt the cheapest of the greedy seed and any candidate
 	// plans the caller supplies.
@@ -174,18 +221,23 @@ func startState(ev *planEvaluator, e *estimator.Estimator,
 		if seed == nil {
 			continue
 		}
-		if err := seed.Validate(); err != nil {
+		s := seed
+		if applyHints {
+			s = seed.Clone()
+			s.ApplyOffloadHints()
+		}
+		if err := s.Validate(); err != nil {
 			continue
 		}
-		sr, err := ev.cost(seed)
+		sr, err := ev.cost(s)
 		if err != nil {
 			continue
 		}
 		if sr.Cost < curPC.Cost {
-			cur, curPC = seed.Clone(), sr
+			cur, curPC = s.Clone(), sr
 		}
 	}
-	return cur, curPC.Cost, nil
+	return cur, curPC, nil
 }
 
 // mcmcSolver is the sequential single-chain Metropolis–Hastings walker —
@@ -242,10 +294,11 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 		evs[i] = newPlanEvaluator(e, cache, p)
 	}
 
-	cur, curCost, err := startState(evs[0], e, p, sp, opt)
+	cur, curPC, err := startState(evs[0], e, p, sp, opt)
 	if err != nil {
 		return Solution{}, Stats{}, err
 	}
+	curCost := curPC.Cost
 
 	// Serialize the caller's progress callback across chains: each chain
 	// streams points as it records them, so WithProgress observers see the
@@ -270,10 +323,11 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 		}
 		cs[i] = &chainState{
 			idx: i, seed: seed, rng: rand.New(rand.NewSource(seed)),
-			cur: cur.Clone(), curCost: curCost,
-			best: cur.Clone(), bestCost: curCost,
-			ev:   evs[i],
-			beta: beta, adaptiveBeta: opt.Beta == 0,
+			cur: cur.Clone(), curCost: curCost, curOOM: curPC.OOM,
+			best: cur.Clone(), bestCost: curCost, bestOOM: curPC.OOM,
+			hardMem: opt.OffloadSearch,
+			ev:      evs[i],
+			beta:    beta, adaptiveBeta: opt.Beta == 0,
 			progress: progress,
 		}
 	}
@@ -301,10 +355,15 @@ func solveMCMC(ctx context.Context, prob Problem, opt Options, chains int) (Solu
 		}
 	}
 
-	// Deterministic reduction: best cost, ties broken by chain index.
+	// Deterministic reduction: best cost (feasibility-first under the
+	// OffloadSearch hard memory constraint), ties broken by chain index.
 	winner := cs[0]
 	for _, c := range cs[1:] {
-		if c.bestCost < winner.bestCost {
+		if opt.OffloadSearch {
+			if betterUnderHardMem(c.bestOOM, c.bestCost, winner.bestOOM, winner.bestCost) {
+				winner = c
+			}
+		} else if c.bestCost < winner.bestCost {
 			winner = c
 		}
 	}
@@ -369,12 +428,17 @@ func runExchanging(ctx context.Context, cs []*chainState,
 }
 
 // exchangeBest is the barrier body: the globally best plan (lowest cost,
-// lowest chain index on ties) replaces the current state of any chain doing
-// worse.
+// lowest chain index on ties; feasibility-first under the hard memory
+// constraint) replaces the current state of any chain doing worse.
 func exchangeBest(cs []*chainState) {
+	hardMem := cs[0].hardMem
 	g := cs[0]
 	for _, c := range cs[1:] {
-		if c.bestCost < g.bestCost {
+		if hardMem {
+			if betterUnderHardMem(c.bestOOM, c.bestCost, g.bestOOM, g.bestCost) {
+				g = c
+			}
+		} else if c.bestCost < g.bestCost {
 			g = c
 		}
 	}
@@ -382,20 +446,30 @@ func exchangeBest(cs []*chainState) {
 		if c.done || c == g {
 			continue
 		}
-		if g.bestCost < c.curCost {
+		adopt := g.bestCost < c.curCost
+		if hardMem {
+			adopt = betterUnderHardMem(g.bestOOM, g.bestCost, c.curOOM, c.curCost)
+		}
+		if adopt {
 			// The barrier is single-threaded, so adopting in place (no
 			// clones) is safe: every chain goroutine has already joined.
 			copyAssign(c.cur, g.best)
 			c.curCost = g.bestCost
+			c.curOOM = g.bestOOM
 			// The adopted plan is the best this chain now knows: fold it
 			// into the chain's best and rescale an adaptive temperature to
 			// the new cost scale. Without the rescale a chain seeded at an
 			// OOM-penalized cost keeps β ≈ 10/hugeCost ≈ 0 after adopting a
 			// cheap plan and accepts nearly every uphill proposal for the
 			// rest of the solve.
-			if g.bestCost < c.bestCost {
+			fold := g.bestCost < c.bestCost
+			if hardMem {
+				fold = betterUnderHardMem(g.bestOOM, g.bestCost, c.bestOOM, c.bestCost)
+			}
+			if fold {
 				copyAssign(c.best, g.best)
 				c.bestCost = g.bestCost
+				c.bestOOM = g.bestOOM
 				if c.adaptiveBeta {
 					c.beta = 10 / math.Max(c.bestCost, 1e-9)
 				}

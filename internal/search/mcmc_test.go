@@ -52,10 +52,11 @@ func TestExchangeRescalesAdaptiveBeta(t *testing.T) {
 	}
 	cache := NewCostCache()
 	ev := newPlanEvaluator(prob.Est, cache, prob.Plan)
-	good, goodCost, err := startState(ev, prob.Est, prob.Plan, sp, opt)
+	good, goodPC, err := startState(ev, prob.Est, prob.Plan, sp, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
+	goodCost := goodPC.Cost
 	oom, oomRes := oomSeedPlan(t, prob, sp)
 
 	mk := func(idx int, cur *core.Plan, cost float64) *chainState {

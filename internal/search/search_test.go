@@ -133,9 +133,9 @@ func TestCandidatesRespectPruning(t *testing.T) {
 		}
 	}
 	meshes := mesh.Enumerate(p.Cluster)
-	none := candidates(p, genNode, PruneNone, meshes, nil)
-	moderate := candidates(p, genNode, PruneModerate, meshes, nil)
-	aggressive := candidates(p, genNode, PruneAggressive, meshes, nil)
+	none := candidates(p, genNode, PruneNone, meshes, nil, false)
+	moderate := candidates(p, genNode, PruneModerate, meshes, nil, false)
+	aggressive := candidates(p, genNode, PruneAggressive, meshes, nil, false)
 	if len(moderate) >= len(none) {
 		t.Errorf("moderate pruning did not shrink the space: %d vs %d", len(moderate), len(none))
 	}

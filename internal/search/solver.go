@@ -186,6 +186,16 @@ type Options struct {
 	// semantics in use, so one cache may safely serve both serialized and
 	// overlap-aware (Problem.Overlap) solves of the same problem.
 	Cache *CostCache
+	// OffloadSearch makes host offload a searched plan dimension: candidate
+	// enumeration emits an offloaded variant of every frozen-role assignment,
+	// MCMC chains gain a dedicated offload-flip proposal move, and the
+	// memory ledger becomes a hard constraint — a feasible plan beats any
+	// infeasible one regardless of the OOM-penalized cost, so the search
+	// cannot return an over-memory plan while a fitting one was seen. The
+	// default (false) keeps offload fixed at the models' OffloadWhenIdle
+	// hints, leaving existing solves, RNG streams and golden plans
+	// byte-identical.
+	OffloadSearch bool
 }
 
 func (o Options) withDefaults() Options {
@@ -306,12 +316,15 @@ type space struct {
 	names      []string
 	cands      [][]core.Assignment
 	spaceLog10 float64
+	// frozen marks (per names index) calls of non-trainable roles — the
+	// calls whose host-offload bit the OffloadSearch flip move may toggle.
+	frozen []bool
 }
 
 // buildSpace enumerates (and optionally shortlists) the candidate sets and
 // resolves the movable call names under opt.
 func buildSpace(e *estimator.Estimator, p *core.Plan, opt Options) (*space, error) {
-	full, spaceLog10, err := candidateSets(p, opt.Prune)
+	full, spaceLog10, err := candidateSets(p, opt.Prune, opt.OffloadSearch)
 	if err != nil {
 		return nil, err
 	}
@@ -334,10 +347,15 @@ func buildSpace(e *estimator.Estimator, p *core.Plan, opt Options) (*space, erro
 		return nil, fmt.Errorf("search: no calls to search over")
 	}
 	cands := make([][]core.Assignment, len(names))
+	frozen := make([]bool, len(names))
+	byName := nodesByName(p)
 	for i, name := range names {
 		cands[i] = sets[name]
+		if n := byName[name]; n != nil {
+			frozen[i] = !p.Models[n.Role].Trainable
+		}
 	}
-	return &space{sets: sets, fullSets: full, names: names, cands: cands, spaceLog10: spaceLog10}, nil
+	return &space{sets: sets, fullSets: full, names: names, cands: cands, spaceLog10: spaceLog10, frozen: frozen}, nil
 }
 
 // enumMemo caches the pure enumeration helpers consulted while building
@@ -389,7 +407,15 @@ func (m *enumMemo) microBatchOptions(perDP int) []int {
 // strategy/micro-batch enumerations; both are hoisted by the caller because
 // they are identical (or heavily shared) across calls, and recomputing them
 // per call dominated candidate-set construction.
-func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel, meshes []mesh.Mesh, memo *enumMemo) []core.Assignment {
+//
+// The offload axis: with offloadSearch set, every layout of a frozen role is
+// emitted twice — device-resident and host-offloaded — so every solver
+// (greedy seeding, MCMC redraws, the exhaustive cross product) explores the
+// offload decision. Without it, calls of roles hinted OffloadWhenIdle emit
+// only the offloaded variant, reproducing the historical fixed-input
+// behavior; unhinted calls emit only the resident variant, keeping default
+// solves byte-identical.
+func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel, meshes []mesh.Mesh, memo *enumMemo, offloadSearch bool) []core.Assignment {
 	ms := p.Models[call.Role]
 	batch := call.Work.Batch
 	if call.Type == dfg.Train && call.Work.MiniBatches > 1 {
@@ -441,7 +467,17 @@ func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel, meshes []mesh.Mesh
 				if memory.Active(spec) > p.Cluster.GPU.MemoryBytes {
 					continue
 				}
-				out = append(out, a)
+				switch {
+				case offloadSearch && !ms.Trainable:
+					out = append(out, a)
+					a.Offload = true
+					out = append(out, a)
+				case ms.OffloadWhenIdle && !ms.Trainable:
+					a.Offload = true
+					out = append(out, a)
+				default:
+					out = append(out, a)
+				}
 			}
 		}
 	}
@@ -450,7 +486,7 @@ func candidates(p *core.Plan, call *dfg.Node, lvl PruneLevel, meshes []mesh.Mesh
 
 // candidateSets precomputes per-call candidate lists and the joint space
 // size.
-func candidateSets(p *core.Plan, lvl PruneLevel) (map[string][]core.Assignment, float64, error) {
+func candidateSets(p *core.Plan, lvl PruneLevel, offloadSearch bool) (map[string][]core.Assignment, float64, error) {
 	sets := map[string][]core.Assignment{}
 	var log10 float64
 	meshes := mesh.Enumerate(p.Cluster)
@@ -459,7 +495,7 @@ func candidateSets(p *core.Plan, lvl PruneLevel) (map[string][]core.Assignment, 
 		if _, ok := sets[n.Name]; ok {
 			continue
 		}
-		c := candidates(p, n, lvl, meshes, memo)
+		c := candidates(p, n, lvl, meshes, memo, offloadSearch)
 		if len(c) == 0 {
 			return nil, 0, fmt.Errorf("search: call %q has no legal assignment", n.Name)
 		}
@@ -488,8 +524,14 @@ func callTime(e *estimator.Estimator, p *core.Plan, n *dfg.Node, a core.Assignme
 		Strategy: a.Strategy, Mesh: a.Mesh,
 	}
 	t := gpumodel.AssembleCall(mc, e.Comm, spec).Total()
+	if a.Offload {
+		// An offloaded call pays the PCIe reload of its parameter shard every
+		// invocation — the time side of the memory it releases.
+		t += e.Comm.OffloadTransfer(memory.ParamShardBytes(ms.Params(), a.Strategy))
+	}
 	static := memory.Static(ms.Params(), a.Strategy, memory.StaticOpts{
 		Trainable: ms.Trainable, ShardOptimizerOverDP: true,
+		OffloadParams: a.Offload && !ms.Trainable,
 	})
 	if memory.Active(spec)+static > p.Cluster.GPU.MemoryBytes {
 		t *= estimator.OOMPenalty

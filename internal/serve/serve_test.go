@@ -305,6 +305,49 @@ func TestGracefulDrain(t *testing.T) {
 	}
 }
 
+// TestOffloadSearchOverTheWire: on a memory-constrained workload the
+// default request 422s (no residency-fixed plan fits HBM) while the same
+// config with offload_search set plans feasibly — the knob rides the
+// canonical config codec end to end and the two requests never share a
+// cache entry.
+func TestOffloadSearchOverTheWire(t *testing.T) {
+	_, _, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	rpcs := realhf.PPORPCs("llama7b", "llama7b-critic")
+	for i := range rpcs {
+		switch rpcs[i].ModelName {
+		case "ref":
+			rpcs[i].ModelType = "llama34b"
+		case "reward":
+			rpcs[i].ModelType = "llama34b-critic"
+		}
+	}
+	cfg := realhf.ExperimentConfig{
+		Nodes: 1, GPUsPerNode: 4, BatchSize: 64, PromptLen: 256, GenLen: 256,
+		MiniBatches: 8, RPCs: rpcs, SearchSteps: 400, Seed: 5,
+	}
+
+	if _, err := client.Plan(ctx, cfg, nil); !errors.Is(err, realhf.ErrInfeasibleMemory) {
+		t.Fatalf("default request: %v, want 422 wrapping ErrInfeasibleMemory", err)
+	}
+
+	cfg.OffloadSearch = true
+	resp, err := client.Plan(ctx, cfg, nil)
+	if err != nil {
+		t.Fatalf("offload-aware request: %v", err)
+	}
+	if resp.Estimate.Cost != resp.Estimate.TimeCostSeconds {
+		t.Error("offload-aware response carries an OOM-penalized cost")
+	}
+	if !resp.Config.OffloadSearch {
+		t.Error("canonical config in the response lost offload_search")
+	}
+	if len(resp.Plan) == 0 || resp.Fingerprint == "" {
+		t.Error("offload-aware response missing plan payload")
+	}
+}
+
 // TestErrorTaxonomyMapping: each class in the error taxonomy surfaces as
 // its HTTP status and maps back onto the realhf sentinel through the typed
 // client, with no string matching anywhere.

@@ -122,13 +122,14 @@ func DefaultPlanner() *Planner {
 type AutoOption func(*autoOptions)
 
 type autoOptions struct {
-	progress     func(search.ProgressPoint)
-	warmStarts   []*core.Plan
-	solver       string
-	chains       int
-	hasChains    bool
-	overlapAware bool
-	runOpts      *RunOptions
+	progress      func(search.ProgressPoint)
+	warmStarts    []*core.Plan
+	solver        string
+	chains        int
+	hasChains     bool
+	overlapAware  bool
+	offloadSearch bool
+	runOpts       *RunOptions
 	// calib attaches profile-feedback calibration to the request's problem:
 	// Trainer sessions set it directly when replanning, and
 	// WithCalibrationFactors builds it from caller-supplied multipliers
@@ -217,6 +218,16 @@ func WithOverlapAwareSearch() AutoOption {
 	return func(o *autoOptions) { o.overlapAware = true }
 }
 
+// WithOffloadSearch makes this request search over per-call host offload —
+// the per-request mirror of ExperimentConfig.OffloadSearch. The solver then
+// treats parameter residency of frozen roles as a plan dimension and the
+// memory ledger as a hard constraint: a feasible plan beats any infeasible
+// one regardless of time cost. Offload participates in the problem key, so
+// offload-aware and default requests never share a cost cache.
+func WithOffloadSearch() AutoOption {
+	return func(o *autoOptions) { o.offloadSearch = true }
+}
+
 // WithRunOptions binds run options to the returned Experiment: its Run()
 // executes under them instead of DefaultRunOptions. Run options do not
 // affect planning and are not part of the plan-cache key.
@@ -287,6 +298,9 @@ func (p *Planner) prepare(cfg ExperimentConfig, opts []AutoOption) (ExperimentCo
 	if o.overlapAware {
 		cfg.PlanForOverlap = true
 	}
+	if o.offloadSearch {
+		cfg.OffloadSearch = true
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return cfg, nil, err
@@ -347,6 +361,7 @@ func (p *Planner) Plan(ctx context.Context, cfg ExperimentConfig, opts ...AutoOp
 			TimeLimit:      cfg.SearchTime,
 			Seed:           cfg.Seed,
 			Chains:         cfg.SearchParallelism,
+			OffloadSearch:  cfg.OffloadSearch,
 			SeedCandidates: seeds,
 			Cache:          ps.cache,
 			Progress:       o.progress,
@@ -398,7 +413,8 @@ func (p *Planner) PlanCached(cfg ExperimentConfig, opts ...AutoOption) (*Experim
 // pre-warms the cost cache a later Plan call for the same problem draws on.
 // No search runs, so the only applicable option is WithRunOptions; passing
 // a search-shaping option (WithProgress, WithWarmStart, WithSolver,
-// WithSearchParallelism, WithOverlapAwareSearch) is an error rather than a
+// WithSearchParallelism, WithOverlapAwareSearch, WithOffloadSearch) is an
+// error rather than a
 // silent no-op. (To estimate the heuristic plan under the overlapped
 // semantics, set cfg.PlanForOverlap — that is a config property, not a
 // search option.)
@@ -408,7 +424,7 @@ func (p *Planner) Heuristic(cfg ExperimentConfig, opts ...AutoOption) (*Experime
 		fn(&o)
 	}
 	if o.progress != nil || o.warmStarts != nil || o.solver != "" || o.hasChains || o.overlapAware ||
-		o.calib != nil || o.calibFactors != nil {
+		o.offloadSearch || o.calib != nil || o.calibFactors != nil {
 		return nil, fmt.Errorf("realhf: Heuristic runs no search and accepts only WithRunOptions: %w", ErrInvalidConfig)
 	}
 	cfg = p.merge(cfg).withDefaults()
@@ -463,7 +479,10 @@ func (p *Planner) loadExperiment(data []byte, label string, cfg ExperimentConfig
 	}
 	loaded, err := core.UnmarshalPlan(data, g)
 	if err != nil {
-		return nil, err
+		// Malformed or invalid stored plans (including an OffloadWhenIdle
+		// hint on a trainable role) are config errors: retrying the identical
+		// request can never succeed, so serve maps them to HTTP 400.
+		return nil, fmt.Errorf("realhf: plan %s: %w: %w", label, err, ErrInvalidConfig)
 	}
 	if loaded.Cluster.Nodes != hw.Nodes || loaded.Cluster.GPUsPerNode != hw.GPUsPerNode {
 		return nil, fmt.Errorf("realhf: plan %s was saved for a %d-node×%d-GPU cluster, config describes %d×%d: %w",
@@ -640,8 +659,8 @@ func appendToken(b *strings.Builder, s string) {
 // other's plan-level makespans. withDefaults must have been applied.
 func (c ExperimentConfig) problemKey() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cluster=%d.%d;work=%d.%d.%d.%d.%d;overlap=%t;rpcs=",
-		c.Nodes, c.GPUsPerNode, c.BatchSize, c.PromptLen, c.GenLen, c.MiniBatches, c.Iterations, c.PlanForOverlap)
+	fmt.Fprintf(&b, "cluster=%d.%d;work=%d.%d.%d.%d.%d;overlap=%t;offload=%t;rpcs=",
+		c.Nodes, c.GPUsPerNode, c.BatchSize, c.PromptLen, c.GenLen, c.MiniBatches, c.Iterations, c.PlanForOverlap, c.OffloadSearch)
 	for _, r := range c.RPCs {
 		// Canonicalize per-call fields the graph builder treats as
 		// equivalent, so e.g. BatchScale 0 and 1 (both "unscaled"), a

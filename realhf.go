@@ -151,6 +151,14 @@ type ExperimentConfig struct {
 	// planner's problem and plan-cache keys, so serialized and overlap-aware
 	// solves of one workload never share cost caches or cached plans.
 	PlanForOverlap bool `json:"plan_for_overlap"`
+	// OffloadSearch makes host offload a searched plan dimension
+	// (search.Options.OffloadSearch): the solver explores parking frozen
+	// models' parameters in host memory per call, with the memory ledger as a
+	// hard feasibility constraint — the path to the paper's 70B-on-one-node
+	// regime, which a fixed-offload search can never discover. Default off:
+	// existing configs keep their plans byte for byte. Like PlanForOverlap,
+	// the flag is part of the planner's problem and plan-cache keys.
+	OffloadSearch bool `json:"offload_search"`
 }
 
 func (c ExperimentConfig) withDefaults() ExperimentConfig {
@@ -537,6 +545,7 @@ func (o RunOptions) scaleCluster(hw hardware.Cluster) hardware.Cluster {
 		hw.Net.IntraNodeLatency *= s
 		hw.Net.InterNodeLatency *= s
 		hw.Net.CollectiveSyncOverhead *= s
+		hw.Net.PCIeLatency *= s
 	}
 	if s := o.MemoryScale; s != 0 {
 		hw.GPU.MemoryBytes = int64(float64(hw.GPU.MemoryBytes) * s)
