@@ -462,6 +462,60 @@ func BenchmarkTrainerReplan(b *testing.B) {
 	}
 }
 
+// BenchmarkShrinkReplan measures the price of surviving a worker loss: a
+// 2-node campaign loses a device at the iteration-1 boundary, shrink-replans
+// onto the surviving node and finishes degraded, against the same campaign
+// running fault-free. Every metric is a deterministic virtual quantity (the
+// failed attempt's partial progress is discarded on re-execution), so CI
+// pins them exactly: the degraded campaign must cost more than the healthy
+// one, by the survivor-mesh slowdown plus the charged §5 reallocation.
+func BenchmarkShrinkReplan(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
+	const iters = 4
+	cfg := trainerConfig()
+	cfg.Nodes = 2
+	for i := 0; i < b.N; i++ {
+		planner := NewPlanner(ClusterConfig{})
+		healthyTr, err := planner.Train(ctx, cfg, WithFrozenPlan())
+		if err != nil {
+			b.Fatal(err)
+		}
+		healthy, err := healthyTr.Campaign(ctx, iters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		healthyTr.Close()
+
+		rig := &chaosRig{}
+		var shrinkTr *Trainer
+		shrinkTr, err = planner.Train(ctx, cfg,
+			WithWorkerPoolFactory(rig.factory),
+			WithIterationProgress(func(r IterationReport) {
+				if r.Iter == 1 {
+					rig.transport().Fail(5, realruntime.FaultKill)
+				}
+			}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		shrink, err := shrinkTr.Campaign(ctx, iters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if shrink.WorkerFailures != 1 || shrinkTr.Stats().Nodes != 1 {
+			b.Fatalf("campaign did not shrink: %+v", shrink)
+		}
+		shrinkTr.Close()
+
+		b.ReportMetric(healthy.TotalMakespanV, "healthy-campaign-s")
+		b.ReportMetric(shrink.TotalMakespanV, "shrink-campaign-s")
+		b.ReportMetric(shrink.TotalMakespanV/healthy.TotalMakespanV, "shrink-vs-healthy-x")
+		b.ReportMetric(shrink.SwitchCostV, "shrink-switch-s")
+		b.ReportMetric(float64(shrink.WorkerFailures), "lost-workers")
+	}
+}
+
 // BenchmarkPlannerCachedPlan measures the steady-state cost of a Planner
 // session answering a repeated request from the plan cache — no MCMC, no
 // estimator work, one keyed lookup plus a private plan clone. The

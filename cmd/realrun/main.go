@@ -11,7 +11,12 @@
 // through a long-lived realhf.Trainer session instead of a one-shot run:
 // persistent model workers, per-iteration reports, profile-feedback
 // replanning under a -genlen-ramp, and an elastic -resize-at mid-campaign
-// cluster change.
+// cluster change. -kill-worker-at injects a worker death (the Trainer
+// shrink-replans onto the survivors), and -checkpoint makes the campaign
+// durable: the session checkpoints after every iteration, and rerunning
+// the same command resumes from the file instead of starting over — kill
+// the process mid-campaign and run it again to watch it pick up exactly
+// where it died.
 //
 // Usage:
 //
@@ -20,6 +25,8 @@
 //	realrun -actor 7b -critic 7b -plan plan.json
 //	realrun -actor 7b -critic 7b -nodes 1 -iters 4 -genlen-ramp 1024:128
 //	realrun -actor 7b -critic 7b -nodes 1 -iters 6 -resize-at 3:2
+//	realrun -actor 7b -critic 7b -nodes 2 -iters 4 -kill-worker-at 2:5
+//	realrun -actor 7b -critic 7b -nodes 1 -iters 8 -checkpoint run.ckpt
 package main
 
 import (
@@ -27,9 +34,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"realhf"
 	"realhf/internal/baselines"
@@ -66,6 +75,10 @@ func main() {
 	resizeAt := flag.String("resize-at", "",
 		"elastic resize iter:nodes — before iteration iter, replan onto nodes hosts (campaign mode)")
 	frozen := flag.Bool("frozen", false, "pin the iteration-0 plan for the whole campaign (the no-replanning baseline)")
+	checkpointFile := flag.String("checkpoint", "",
+		"checkpoint the campaign to this file after every iteration, and resume from it when it exists (campaign mode)")
+	killAt := flag.String("kill-worker-at", "",
+		"fault injection iter:gpu — before iteration iter, kill worker gpu and shrink-replan onto the survivors (campaign mode)")
 	flag.Parse()
 
 	cfg, err := realhf.PaperExperiment(*algo, "llama"+*actor, "llama"+*critic+"-critic", *nodes, *batch)
@@ -84,10 +97,13 @@ func main() {
 		if *tcp || *chromeTrace != "" {
 			log.Fatal("realrun: campaign mode does not support -tcp or -chrometrace")
 		}
-		runCampaign(cfg, *iters, *genLenRamp, *resizeAt, *frozen, realhf.RunOptions{
+		runCampaign(cfg, *iters, *genLenRamp, *resizeAt, *checkpointFile, *killAt, *frozen, realhf.RunOptions{
 			UseCUDAGraph: *cudaGraph, OverlapComm: *overlap,
 		})
 		return
+	}
+	if *checkpointFile != "" || *killAt != "" {
+		log.Fatal("realrun: -checkpoint and -kill-worker-at require campaign mode (-iters > 1)")
 	}
 
 	planner := realhf.NewPlanner(realhf.ClusterConfig{})
@@ -211,6 +227,33 @@ func main() {
 	}
 }
 
+// faultRig builds the -kill-worker-at worker fleets: in-process channel
+// workers with a runtime.FaultyTransport wrapped around the transport, the
+// latest fleet's wrapper kept so the progress callback can kill a device on
+// whatever fleet the session currently runs.
+type faultRig struct {
+	mu sync.Mutex
+	ft *runtime.FaultyTransport
+}
+
+func (r *faultRig) factory(numGPUs int, memoryBytes int64) (*runtime.WorkerPool, error) {
+	workers := make([]*runtime.ModelWorker, numGPUs)
+	for i := range workers {
+		workers[i] = runtime.NewModelWorker(i, memoryBytes)
+	}
+	ft := runtime.NewFaultyTransport(runtime.NewChanTransport(workers))
+	r.mu.Lock()
+	r.ft = ft
+	r.mu.Unlock()
+	return runtime.NewWorkerPoolWith(workers, ft), nil
+}
+
+func (r *faultRig) transport() *runtime.FaultyTransport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ft
+}
+
 // parsePair parses "a:b" into two ints.
 func parsePair(s, what string) (int, int, error) {
 	parts := strings.SplitN(s, ":", 2)
@@ -230,15 +273,40 @@ func parsePair(s, what string) (int, int, error) {
 
 // runCampaign drives a multi-iteration Trainer session: per-iteration
 // reports stream as they complete, an optional linear GenLen ramp exercises
-// the §8 drift scenario, and an optional -resize-at splits the campaign
-// around an elastic cluster change.
-func runCampaign(cfg realhf.ExperimentConfig, iters int, ramp, resize string, frozen bool, runOpts realhf.RunOptions) {
+// the §8 drift scenario, an optional -resize-at splits the campaign around
+// an elastic cluster change, -kill-worker-at injects a worker death the
+// session survives by shrink-replanning, and -checkpoint makes the whole
+// campaign durable (checkpoint after every iteration, resume from the file
+// when it exists).
+func runCampaign(cfg realhf.ExperimentConfig, iters int, ramp, resize, checkpointFile, killAt string, frozen bool, runOpts realhf.RunOptions) {
 	ctx := context.Background()
+	// tr is assigned below; the progress callback captures it so the
+	// per-iteration checkpoint and the fault injection can reach the
+	// session (callbacks run with the session unlocked).
+	var tr *realhf.Trainer
+	killIter, killGPU := -1, -1
+	var rig *faultRig
+	if killAt != "" {
+		var err error
+		killIter, killGPU, err = parsePair(killAt, "-kill-worker-at")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if killIter <= 0 || killIter >= iters {
+			log.Fatalf("realrun: -kill-worker-at iteration %d outside campaign (1..%d)", killIter, iters-1)
+		}
+		if killGPU < 0 {
+			log.Fatalf("realrun: -kill-worker-at gpu %d must be >= 0", killGPU)
+		}
+		rig = &faultRig{}
+	}
 	opts := []realhf.TrainOption{
 		realhf.WithTrainRunOptions(runOpts),
 		realhf.WithIterationProgress(func(r realhf.IterationReport) {
 			mark := " "
 			switch {
+			case r.WorkerLost:
+				mark = "X" // lost a worker, shrink-replanned onto the survivors
 			case r.Switched:
 				mark = "S" // replanned and switched plans
 			case r.Replanned:
@@ -247,7 +315,22 @@ func runCampaign(cfg realhf.ExperimentConfig, iters int, ramp, resize string, fr
 			fmt.Printf("iter %2d %s gen=%-5d nodes=%d  %8.2fs (est %8.2fs, drift %4.1f%%)  switch %6.3fs  plan %.12s\n",
 				r.Iter, mark, r.GenLen, r.Nodes, r.MakespanV, r.EstMakespanV, 100*r.Drift,
 				r.ReallocSwitchCost, r.PlanFingerprint)
+			if r.WorkerLost {
+				fmt.Printf("-- worker gpu %v lost; campaign shrunk to %d nodes --\n", r.LostGPUs, r.Nodes)
+			}
+			if rig != nil && r.Iter == killIter-1 {
+				fmt.Printf("-- killing worker gpu %d --\n", killGPU)
+				rig.transport().Fail(killGPU, runtime.FaultKill)
+			}
+			if checkpointFile != "" {
+				if err := tr.CheckpointFile(checkpointFile); err != nil {
+					log.Fatal(err)
+				}
+			}
 		}),
+	}
+	if rig != nil {
+		opts = append(opts, realhf.WithWorkerPoolFactory(rig.factory))
 	}
 	if frozen {
 		opts = append(opts, realhf.WithFrozenPlan())
@@ -280,9 +363,23 @@ func runCampaign(cfg realhf.ExperimentConfig, iters int, ramp, resize string, fr
 	}
 
 	planner := realhf.NewPlanner(realhf.ClusterConfig{})
-	tr, err := planner.Train(ctx, cfg, opts...)
-	if err != nil {
-		log.Fatal(err)
+	var err error
+	if checkpointFile != "" {
+		if _, statErr := os.Stat(checkpointFile); statErr == nil {
+			tr, err = planner.ResumeTrainFile(ctx, checkpointFile, cfg, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	resumedAt := 0
+	if tr == nil {
+		tr, err = planner.Train(ctx, cfg, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		resumedAt = tr.Stats().Iterations
 	}
 	defer tr.Close()
 
@@ -290,7 +387,16 @@ func runCampaign(cfg realhf.ExperimentConfig, iters int, ramp, resize string, fr
 	if frozen {
 		mode = "frozen-plan"
 	}
-	fmt.Printf("Training campaign (%s): %d iterations on %d nodes\n\n", mode, iters, cfg.Nodes)
+	if resumedAt > 0 {
+		fmt.Printf("Training campaign (%s): resumed from %s at iteration %d of %d, on %d nodes\n\n",
+			mode, checkpointFile, resumedAt, iters, tr.Stats().Nodes)
+	} else {
+		fmt.Printf("Training campaign (%s): %d iterations on %d nodes\n\n", mode, iters, cfg.Nodes)
+	}
+	if resumedAt >= iters {
+		fmt.Println("campaign already complete; delete the checkpoint to start over")
+		return
+	}
 
 	// Only the makespan/iteration totals come from the chunked campaign
 	// reports; replan/switch/realloc counters are read from Stats at the
@@ -298,11 +404,11 @@ func runCampaign(cfg realhf.ExperimentConfig, iters int, ramp, resize string, fr
 	var totalV float64
 	ranIters := 0
 	accumulate := func(rep *realhf.CampaignReport) {
-		ranIters += len(rep.Iterations)
+		ranIters += rep.CompletedIterations
 		totalV += rep.TotalMakespanV
 	}
-	if resizeIter > 0 {
-		rep, err := tr.Campaign(ctx, resizeIter)
+	if resizeIter > resumedAt {
+		rep, err := tr.Campaign(ctx, resizeIter-resumedAt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -317,7 +423,7 @@ func runCampaign(cfg realhf.ExperimentConfig, iters int, ramp, resize string, fr
 		}
 		accumulate(rep)
 	} else {
-		rep, err := tr.Campaign(ctx, iters)
+		rep, err := tr.Campaign(ctx, iters-resumedAt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -325,8 +431,8 @@ func runCampaign(cfg realhf.ExperimentConfig, iters int, ramp, resize string, fr
 	}
 
 	st := tr.Stats()
-	fmt.Printf("\nCampaign total: %.2fs over %d iterations (replans %d, switches %d, realloc charged %.3fs)\n",
-		totalV, ranIters, st.Replans, st.Switches, st.SwitchCostV)
+	fmt.Printf("\nCampaign total: %.2fs over %d iterations (replans %d, switches %d, realloc charged %.3fs, workers lost %d)\n",
+		totalV, ranIters, st.Replans, st.Switches, st.SwitchCostV, st.WorkerFailures)
 	if factors := st.CalibrationFactors; len(factors) > 0 {
 		names := make([]string, 0, len(factors))
 		for name := range factors {

@@ -26,6 +26,12 @@ import (
 //     context cause (context.Canceled or context.DeadlineExceeded) stays in
 //     the chain, so errors.Is distinguishes disconnects from timeouts.
 //     HTTP 499.
+//   - ErrWorkerLost: a campaign's worker fleet lost a device and could not
+//     recover — the Trainer shrinks onto the survivors automatically, so
+//     this sentinel only surfaces when no survivors remain (or recovery
+//     itself failed). The runtime's typed *runtime.ErrWorkerLost (which
+//     carries the GPU index) stays in the chain for errors.As. Retrying
+//     needs capacity the caller must supply. HTTP 503.
 var (
 	// ErrInvalidConfig is wrapped by every rejection of a malformed
 	// ExperimentConfig, RPC list, option set or calibration.
@@ -36,6 +42,12 @@ var (
 	// ErrSolveCanceled is wrapped when a plan request is abandoned by
 	// context cancellation or deadline expiry, before or during the solve.
 	ErrSolveCanceled = errors.New("solve canceled")
+	// ErrWorkerLost is wrapped when a training campaign loses a worker it
+	// cannot recover from: the last surviving node died, or the
+	// shrink-replan onto the survivor mesh failed. Recoverable losses are
+	// absorbed by the Trainer (shrink-replan) and reported through
+	// IterationReport.WorkerLost instead of an error.
+	ErrWorkerLost = errors.New("worker lost")
 )
 
 // ErrInvalidRunOptions is wrapped by every rejection of malformed

@@ -58,20 +58,23 @@ var CtxErrScopes = []PackageScope{
 // ErrorBoundaryPackages is where ctxerr's fmt.Errorf rule applies: every
 // error constructed on a path that can cross the serve boundary must
 // %w-wrap one of the exported sentinels (ErrInvalidConfig,
-// ErrInfeasibleMemory, ErrSolveCanceled, ErrInvalidRunOptions) so
-// errors.Is dispatch — and the HTTP status taxonomy built on it — keeps
-// working remotely.
+// ErrInfeasibleMemory, ErrSolveCanceled, ErrInvalidRunOptions,
+// ErrWorkerLost) so errors.Is dispatch — and the HTTP status taxonomy
+// built on it — keeps working remotely.
 var ErrorBoundaryPackages = []PackageScope{
 	{Path: "internal/serve"},
 	{Path: ""},
 }
 
 // FieldCoverScopes is where fieldcover looks for cache-key structs: the
-// root package (ExperimentConfig and the wire codec) and internal/core
-// (Plan/Assignment fingerprints).
+// root package (ExperimentConfig and the wire codec), internal/core
+// (Plan/Assignment fingerprints) and internal/checkpoint (the campaign
+// checkpoint codec — a State field missing from its marshal would be
+// silently dropped on resume).
 var FieldCoverScopes = []PackageScope{
 	{Path: ""},
 	{Path: "internal/core"},
+	{Path: "internal/checkpoint"},
 }
 
 // canonicalMethodNames are the method names that mark a struct as a

@@ -123,6 +123,6 @@ func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
 	pass.Report(Diagnostic{
 		Analyzer: pass.Analyzer.Name,
 		Pos:      pass.Fset.Position(call.Pos()),
-		Message:  fmt.Sprintf("fmt.Errorf at the serve boundary does not %%w-wrap a sentinel (format %q); wrap ErrInvalidConfig, ErrInfeasibleMemory, ErrSolveCanceled or ErrInvalidRunOptions so errors.Is survives the boundary", format),
+		Message:  fmt.Sprintf("fmt.Errorf at the serve boundary does not %%w-wrap a sentinel (format %q); wrap ErrInvalidConfig, ErrInfeasibleMemory, ErrSolveCanceled, ErrInvalidRunOptions or ErrWorkerLost so errors.Is survives the boundary", format),
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"realhf/internal/core"
 	"realhf/internal/dfg"
@@ -30,6 +31,14 @@ type Options struct {
 	// Context, when set, cancels an in-flight run: Run returns the partial
 	// report accumulated so far together with a wrapping error.
 	Context context.Context
+	// WorkerTimeout bounds how long the dispatch loop waits for the next
+	// worker reply while nodes are in flight. When it expires, the run is
+	// abandoned with a partial report and an error chaining a typed
+	// *ErrWorkerLost naming the smallest device that still owes a reply —
+	// the failure-detection half of the resilience contract (a dead worker
+	// must surface as a typed error, never as a hang). Zero disables the
+	// timeout (the historical behavior).
+	WorkerTimeout time.Duration
 	// Transport overrides the default in-process transport. When set, the
 	// caller owns worker setup and teardown; StaticBytes must already be
 	// populated on the workers, and Workers must be provided for memory
@@ -328,7 +337,8 @@ func (m *Master) Run() (*Report, error) {
 	}
 
 	var ready readyHeap
-	inflight := map[int]float64{} // id -> lower bound on completion time
+	inflight := map[int]float64{}            // id -> lower bound on completion time
+	owedByGPU := make([]int, m.hw.NumGPUs()) // replies each device still owes
 
 	// minInflightBound is the earliest virtual time any in-flight node can
 	// complete — the dispatch gate. Map iteration order does not matter:
@@ -364,8 +374,9 @@ func (m *Master) Run() (*Report, error) {
 				req.AllocBytes = 0
 			}
 			if err := transport.Send(gpu, req); err != nil {
-				return err
+				return fmt.Errorf("runtime: dispatch %q to gpu %d: %w", w.node.Label, gpu, err)
 			}
+			owedByGPU[gpu]++
 		}
 		outstanding[id] = len(w.gpus)
 		inflight[id] = readyV[id] + dispatchOverheadV
@@ -384,6 +395,9 @@ func (m *Master) Run() (*Report, error) {
 		}
 		if rep.StartV < startV[id] {
 			startV[id] = rep.StartV
+		}
+		if rep.GPU >= 0 && rep.GPU < len(owedByGPU) {
+			owedByGPU[rep.GPU]--
 		}
 		outstanding[id]--
 		if outstanding[id] > 0 {
@@ -472,6 +486,16 @@ func (m *Master) Run() (*Report, error) {
 		}
 	}
 
+	// A run that dies mid-flight — lost worker, closed transport, stalled
+	// scheduler — still returns the partial report assembled from every
+	// node that did complete, exactly like a context cancellation: the
+	// caller's accounting (CompletedIterations, IterTime's partial-run
+	// clamp) must not depend on *why* the run ended early.
+	var timer *time.Timer
+	if m.opts.WorkerTimeout > 0 {
+		timer = time.NewTimer(m.opts.WorkerTimeout)
+		defer timer.Stop()
+	}
 	for completed < total {
 		// Dispatch every node the gate admits, draining replies
 		// opportunistically so queues never back up. Handling a reply
@@ -483,13 +507,15 @@ func (m *Master) Run() (*Report, error) {
 			}
 			it := heap.Pop(&ready).(readyItem)
 			if err := dispatch(it.id); err != nil {
-				return nil, err
+				finish()
+				return report, err
 			}
 			for drained := false; !drained; {
 				select {
 				case rep, ok := <-transport.Replies():
 					if !ok {
-						return nil, fmt.Errorf("runtime: transport closed with %d nodes in flight", len(inflight))
+						finish()
+						return report, fmt.Errorf("runtime: transport closed with %d nodes in flight", len(inflight))
 					}
 					handleReply(rep)
 				default:
@@ -501,16 +527,42 @@ func (m *Master) Run() (*Report, error) {
 			break
 		}
 		if len(inflight) == 0 {
-			return nil, fmt.Errorf("runtime: scheduler stalled with %d/%d nodes complete", completed, total)
+			finish()
+			return report, fmt.Errorf("runtime: scheduler stalled with %d/%d nodes complete", completed, total)
+		}
+		// Re-arm the liveness timer for this wait: a timeout means no
+		// worker answered for a full WorkerTimeout while replies were owed.
+		var timeoutC <-chan time.Time
+		if timer != nil {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(m.opts.WorkerTimeout)
+			timeoutC = timer.C
 		}
 		select {
 		case <-ctx.Done():
 			finish()
 			return report, fmt.Errorf("runtime: run cancelled with %d/%d nodes complete: %w",
 				completed, total, ctx.Err())
+		case <-timeoutC:
+			finish()
+			lost := -1
+			for gpu, owed := range owedByGPU {
+				if owed > 0 {
+					lost = gpu
+					break
+				}
+			}
+			return report, fmt.Errorf("runtime: no worker reply within %v with %d/%d nodes complete: %w",
+				m.opts.WorkerTimeout, completed, total, &ErrWorkerLost{GPU: lost})
 		case rep, ok := <-transport.Replies():
 			if !ok {
-				return nil, fmt.Errorf("runtime: transport closed with %d nodes in flight", len(inflight))
+				finish()
+				return report, fmt.Errorf("runtime: transport closed with %d nodes in flight", len(inflight))
 			}
 			handleReply(rep)
 		}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"realhf/internal/core"
 )
@@ -23,6 +24,7 @@ type WorkerPool struct {
 	workers      []*ModelWorker
 	transport    Transport
 	memoryBytes  int64
+	fenceTimeout time.Duration
 	ownTransport bool
 	closed       bool
 }
@@ -67,9 +69,23 @@ func (wp *WorkerPool) Workers() []*ModelWorker {
 	return wp.workers
 }
 
+// SetFenceTimeout bounds how long Reset waits for the fleet to quiesce:
+// when the fences are not all answered within d, Reset gives up and
+// reports the smallest unaccounted-for device as a typed *ErrWorkerLost
+// instead of hanging on a dead or wedged worker. Zero (the default)
+// restores the unbounded wait.
+func (wp *WorkerPool) SetFenceTimeout(d time.Duration) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	wp.fenceTimeout = d
+}
+
 // fenceID maps a (gpu, stream) pair to a reserved negative request ID, so
 // fence replies can never collide with the master's node IDs (>= 0).
 func fenceID(gpu int, s Stream) int { return -(1 + gpu*NumStreams + int(s)) }
+
+// fenceGPU inverts fenceID.
+func fenceGPU(id int) int { return (-id - 1) / NumStreams }
 
 // Reset quiesces and reinitializes the fleet for the next iteration:
 //
@@ -100,7 +116,11 @@ func (wp *WorkerPool) Reset(static []int64) error {
 	return nil
 }
 
-// drainLocked runs the fence protocol over the pool's transport.
+// drainLocked runs the fence protocol over the pool's transport. A dead
+// worker surfaces here in one of two ways, both as a typed *ErrWorkerLost
+// in the returned chain: the fence send itself fails (a killed transport
+// lane), or the fences stop coming back and the fence timeout expires (a
+// wedged or silently dropped stream).
 func (wp *WorkerPool) drainLocked() error {
 	want := make(map[int]bool, len(wp.workers)*NumStreams)
 	for gpu := range wp.workers {
@@ -112,12 +132,31 @@ func (wp *WorkerPool) drainLocked() error {
 			}
 		}
 	}
+	var timeout <-chan time.Time
+	if wp.fenceTimeout > 0 {
+		timer := time.NewTimer(wp.fenceTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 	for len(want) > 0 {
-		rep, ok := <-wp.transport.Replies()
-		if !ok {
-			return fmt.Errorf("runtime: transport closed with %d fences outstanding", len(want))
+		select {
+		case rep, ok := <-wp.transport.Replies():
+			if !ok {
+				return fmt.Errorf("runtime: transport closed with %d fences outstanding", len(want))
+			}
+			delete(want, rep.ID) // non-fence IDs are stragglers; discard
+		case <-timeout:
+			// Deterministic blame: the smallest device with an outstanding
+			// fence (min over a map is iteration-order independent).
+			lost := -1
+			for id := range want {
+				if gpu := fenceGPU(id); lost < 0 || gpu < lost {
+					lost = gpu
+				}
+			}
+			return fmt.Errorf("runtime: fence timeout after %v with %d fences outstanding: %w",
+				wp.fenceTimeout, len(want), &ErrWorkerLost{GPU: lost})
 		}
-		delete(want, rep.ID) // non-fence IDs are stragglers; discard
 	}
 	return nil
 }

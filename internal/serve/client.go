@@ -59,6 +59,8 @@ func (e *ServerError) Unwrap() error {
 		return ErrOverloaded
 	case CodeDraining:
 		return ErrDraining
+	case CodeWorkerLost:
+		return realhf.ErrWorkerLost
 	}
 	return nil
 }

@@ -455,6 +455,10 @@ func (s *Server) flightError(ctx context.Context, err error) (*PlanResponse, int
 			return nil, http.StatusGatewayTimeout, &ErrorResponse{Code: CodeDeadline, Error: err.Error()}
 		}
 		return nil, StatusClientClosedRequest, &ErrorResponse{Code: CodeCanceled, Error: err.Error()}
+	case errors.Is(err, realhf.ErrWorkerLost):
+		// An unrecoverable worker loss is a capacity problem, not a request
+		// problem: 503 tells the caller to retry once capacity returns.
+		return nil, http.StatusServiceUnavailable, &ErrorResponse{Code: CodeWorkerLost, Error: err.Error()}
 	}
 	return nil, http.StatusInternalServerError, &ErrorResponse{Code: CodeInternal, Error: err.Error()}
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -444,5 +445,47 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if stats.Planner.PlanRequests != 1 {
 		t.Errorf("planner stats = %+v, want the shared session's counters", stats.Planner)
+	}
+}
+
+// TestFlightErrorTaxonomyTable: the sentinel→HTTP mapping, one row per
+// taxonomy class, including the capacity class (ErrWorkerLost → 503) no
+// plan request can organically produce, and the client's inverse mapping:
+// unwrapping a ServerError carrying each code restores the sentinel a
+// local call would have returned.
+func TestFlightErrorTaxonomyTable(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{})
+	ctx := context.Background()
+	cases := []struct {
+		name     string
+		err      error
+		status   int
+		code     string
+		sentinel error
+	}{
+		{"invalid config", fmt.Errorf("bad: %w", realhf.ErrInvalidConfig),
+			http.StatusBadRequest, CodeInvalidConfig, realhf.ErrInvalidConfig},
+		{"infeasible memory", fmt.Errorf("oom: %w", realhf.ErrInfeasibleMemory),
+			http.StatusUnprocessableEntity, CodeInfeasibleMemory, realhf.ErrInfeasibleMemory},
+		{"solve canceled", fmt.Errorf("gone: %w", realhf.ErrSolveCanceled),
+			StatusClientClosedRequest, CodeCanceled, realhf.ErrSolveCanceled},
+		{"worker lost", fmt.Errorf("campaign: gpu 3: %w", realhf.ErrWorkerLost),
+			http.StatusServiceUnavailable, CodeWorkerLost, realhf.ErrWorkerLost},
+		{"internal", errors.New("disk on fire"),
+			http.StatusInternalServerError, CodeInternal, nil},
+	}
+	for _, tc := range cases {
+		_, status, wire := srv.flightError(ctx, tc.err)
+		if status != tc.status || wire == nil || wire.Code != tc.code {
+			t.Errorf("%s: mapped to HTTP %d code %q, want %d %q", tc.name, status, wire.Code, tc.status, tc.code)
+			continue
+		}
+		if tc.sentinel == nil {
+			continue
+		}
+		se := &ServerError{StatusCode: status, Code: wire.Code, Message: wire.Error}
+		if !errors.Is(se, tc.sentinel) {
+			t.Errorf("%s: client does not unwrap code %q back to the sentinel", tc.name, wire.Code)
+		}
 	}
 }

@@ -105,6 +105,7 @@ const (
 	CodeCanceled         = "solve_canceled"    // 499, realhf.ErrSolveCanceled
 	CodeDeadline         = "deadline_exceeded" // 504, context.DeadlineExceeded
 	CodeDraining         = "draining"          // 503, ErrDraining
+	CodeWorkerLost       = "worker_lost"       // 503, realhf.ErrWorkerLost
 	CodeInternal         = "internal"          // 500
 )
 

@@ -501,6 +501,16 @@ type RunOptions struct {
 	BandwidthScale float64
 	LatencyScale   float64
 	MemoryScale    float64
+
+	// WorkerTimeout bounds how long the runtime waits for an unresponsive
+	// worker before abandoning the run with a typed worker-lost error
+	// (wrapping ErrWorkerLost) instead of hanging — the failure-detection
+	// half of the resilience contract. Zero keeps the default: disabled
+	// for one-shot Run/RunWith (whose in-process workers cannot die
+	// independently), and a conservative 2s liveness bound for Trainer
+	// sessions, whose pools may front real remote fleets. Negative values
+	// are rejected by Validate.
+	WorkerTimeout time.Duration
 }
 
 // Validate rejects malformed option values: each cluster override must be
@@ -525,6 +535,10 @@ func (o RunOptions) Validate() error {
 			return fmt.Errorf("realhf: %s = %v: %w (must be 0 to keep the default, or a positive finite multiplier)",
 				f.name, f.value, ErrInvalidRunOptions)
 		}
+	}
+	if o.WorkerTimeout < 0 {
+		return fmt.Errorf("realhf: WorkerTimeout = %v: %w (must be 0 to keep the default, or a positive duration)",
+			o.WorkerTimeout, ErrInvalidRunOptions)
 	}
 	return nil
 }
@@ -600,8 +614,9 @@ func (e *Experiment) RunWith(opts RunOptions) (*RunReport, error) {
 		plan.Cluster = opts.scaleCluster(plan.Cluster)
 	}
 	rep, err := runtime.Run(plan, runtime.Options{
-		UseCUDAGraph: opts.UseCUDAGraph,
-		OverlapComm:  opts.OverlapComm,
+		UseCUDAGraph:  opts.UseCUDAGraph,
+		OverlapComm:   opts.OverlapComm,
+		WorkerTimeout: opts.WorkerTimeout,
 	})
 	if err != nil {
 		return nil, err

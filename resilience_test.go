@@ -1,0 +1,286 @@
+package realhf
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"realhf/internal/runtime"
+)
+
+// chaosRig builds Trainer worker fleets whose chan transport is wrapped in
+// a runtime.FaultyTransport, and remembers the latest fleet's wrapper so a
+// test can arm faults against whatever fleet the session currently runs.
+type chaosRig struct {
+	mu sync.Mutex
+	ft *runtime.FaultyTransport
+}
+
+func (r *chaosRig) factory(numGPUs int, memoryBytes int64) (*runtime.WorkerPool, error) {
+	workers := make([]*runtime.ModelWorker, numGPUs)
+	for i := range workers {
+		workers[i] = runtime.NewModelWorker(i, memoryBytes)
+	}
+	ft := runtime.NewFaultyTransport(runtime.NewChanTransport(workers))
+	r.mu.Lock()
+	r.ft = ft
+	r.mu.Unlock()
+	return runtime.NewWorkerPoolWith(workers, ft), nil
+}
+
+func (r *chaosRig) transport() *runtime.FaultyTransport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ft
+}
+
+// TestTrainerShrinkReplanOnWorkerLoss: killing a worker mid-campaign must
+// not end the session — the Trainer evicts the dead device's node,
+// replans onto the survivor mesh, charges the §5 reallocation, re-executes
+// the iteration there, and keeps the campaign's accounting consistent.
+func TestTrainerShrinkReplanOnWorkerLoss(t *testing.T) {
+	ctx := context.Background()
+	planner := NewPlanner(ClusterConfig{})
+	rig := &chaosRig{}
+	cfg := trainerConfig()
+	cfg.Nodes = 2
+
+	tr, err := planner.Train(ctx, cfg, WithWorkerPoolFactory(rig.factory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	first, err := tr.Step(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.WorkerLost || first.Nodes != 2 {
+		t.Fatalf("healthy iteration reported %+v", first)
+	}
+
+	rig.transport().Fail(3, runtime.FaultKill)
+	rep, err := tr.Step(ctx)
+	if err != nil {
+		t.Fatalf("Step with a killed worker must shrink and survive, got %v", err)
+	}
+	if !rep.WorkerLost || len(rep.LostGPUs) != 1 || rep.LostGPUs[0] != 3 {
+		t.Fatalf("loss not recorded: %+v", rep)
+	}
+	if rep.Nodes != 1 {
+		t.Fatalf("iteration after shrink ran on %d nodes, want 1", rep.Nodes)
+	}
+	if !rep.Replanned || !rep.Switched {
+		t.Fatalf("shrink must replan and switch: %+v", rep)
+	}
+	if rep.ReallocSwitchCost <= 0 {
+		t.Fatal("shrink must charge a positive reallocation cost")
+	}
+	if rep.MakespanV <= first.MakespanV {
+		t.Fatalf("degraded makespan %.3f must exceed the 2-node %.3f", rep.MakespanV, first.MakespanV)
+	}
+
+	st := tr.Stats()
+	if st.Nodes != 1 || st.WorkerFailures != 1 {
+		t.Fatalf("stats after shrink: %+v", st)
+	}
+
+	// The campaign keeps running on the survivor fleet.
+	next, err := tr.Step(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.WorkerLost || next.Nodes != 1 {
+		t.Fatalf("post-shrink iteration: %+v", next)
+	}
+}
+
+// TestTrainerWorkerLossNoSurvivors: losing a worker on the last remaining
+// node cannot be recovered by shrinking — the step must fail with the
+// package sentinel (for taxonomy dispatch) and the typed runtime error
+// (naming the device) both in the chain.
+func TestTrainerWorkerLossNoSurvivors(t *testing.T) {
+	ctx := context.Background()
+	planner := NewPlanner(ClusterConfig{})
+	rig := &chaosRig{}
+
+	tr, err := planner.Train(ctx, trainerConfig(), WithWorkerPoolFactory(rig.factory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	rig.transport().Fail(0, runtime.FaultKill)
+	_, err = tr.Step(ctx)
+	if !errors.Is(err, ErrWorkerLost) {
+		t.Fatalf("Step = %v, want ErrWorkerLost in the chain", err)
+	}
+	var lost *runtime.ErrWorkerLost
+	if !errors.As(err, &lost) || lost.GPU != 0 {
+		t.Fatalf("Step = %v, want *runtime.ErrWorkerLost on gpu 0", err)
+	}
+	st := tr.Stats()
+	if st.WorkerFailures != 1 {
+		t.Fatalf("unrecovered loss must still count: %+v", st)
+	}
+}
+
+// TestTrainerCampaignPartialReportOnLoss: a campaign ended by an
+// unrecoverable loss hands back the completed prefix with
+// CompletedIterations consistent with the accounting.
+func TestTrainerCampaignPartialReportOnLoss(t *testing.T) {
+	ctx := context.Background()
+	planner := NewPlanner(ClusterConfig{})
+	rig := &chaosRig{}
+
+	tr, err := planner.Train(ctx, trainerConfig(),
+		WithWorkerPoolFactory(rig.factory),
+		WithIterationProgress(func(r IterationReport) {
+			if r.Iter == 1 {
+				rig.transport().Fail(2, runtime.FaultKill)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	rep, err := tr.Campaign(ctx, 4)
+	if !errors.Is(err, ErrWorkerLost) {
+		t.Fatalf("campaign = %v, want ErrWorkerLost", err)
+	}
+	if rep == nil {
+		t.Fatal("failed campaign must return the partial report")
+	}
+	if rep.CompletedIterations != 2 || len(rep.Iterations) != 2 {
+		t.Fatalf("partial report completed %d/%d iterations, want 2", rep.CompletedIterations, len(rep.Iterations))
+	}
+	var sum float64
+	for _, r := range rep.Iterations {
+		sum += r.MakespanV + r.ReallocSwitchCost
+	}
+	if sum != rep.TotalMakespanV {
+		t.Fatalf("partial total %.4f != per-iteration sum %.4f", rep.TotalMakespanV, sum)
+	}
+}
+
+// TestCheckpointResumeExactReplay: Checkpoint → (simulated) kill →
+// ResumeTrain on a fresh planner replays the campaign exactly — the resumed
+// session's next iteration matches the uninterrupted session's byte for
+// byte: same plan fingerprint, same iteration counter, same makespan and
+// switch accounting. The generation-length ramp makes the comparison
+// meaningful: the post-resume step triggers a replan, so every piece of
+// restored state (plan, calibration, counters, drift flag) must be exact
+// for the two sessions to agree.
+func TestCheckpointResumeExactReplay(t *testing.T) {
+	ctx := context.Background()
+	schedule := WithGenLenSchedule(rampSchedule)
+
+	orig, err := NewPlanner(ClusterConfig{}).Train(ctx, trainerConfig(), schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	if _, err := orig.Campaign(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var ckpt bytes.Buffer
+	if err := orig.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoints are deterministic: a second write is byte-identical.
+	var again bytes.Buffer
+	if err := orig.Checkpoint(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckpt.Bytes(), again.Bytes()) {
+		t.Fatal("two checkpoints of the same session differ")
+	}
+
+	cont, err := orig.Step(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := NewPlanner(ClusterConfig{}).ResumeTrain(ctx, bytes.NewReader(ckpt.Bytes()), trainerConfig(), schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	rep, err := resumed.Step(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Iter != cont.Iter {
+		t.Fatalf("resumed iteration counter %d != uninterrupted %d", rep.Iter, cont.Iter)
+	}
+	if rep.PlanFingerprint != cont.PlanFingerprint {
+		t.Fatalf("resumed plan fingerprint %s != uninterrupted %s", rep.PlanFingerprint, cont.PlanFingerprint)
+	}
+	if rep.MakespanV != cont.MakespanV || rep.EstMakespanV != cont.EstMakespanV {
+		t.Fatalf("resumed makespan (%.6f est %.6f) != uninterrupted (%.6f est %.6f)",
+			rep.MakespanV, rep.EstMakespanV, cont.MakespanV, cont.EstMakespanV)
+	}
+	if rep.ReallocSwitchCost != cont.ReallocSwitchCost || rep.Replanned != cont.Replanned || rep.Switched != cont.Switched {
+		t.Fatalf("resumed replan accounting %+v != uninterrupted %+v", rep, cont)
+	}
+	a, b := resumed.Stats(), orig.Stats()
+	if a.Iterations != b.Iterations || a.Replans != b.Replans || a.Switches != b.Switches ||
+		a.SwitchCostV != b.SwitchCostV || a.TotalMakespanV != b.TotalMakespanV ||
+		a.PlanFingerprint != b.PlanFingerprint {
+		t.Fatalf("resumed stats %+v != uninterrupted %+v", a, b)
+	}
+}
+
+// TestResumeRejectsBadCheckpoints: resume failures are config errors —
+// garbage bytes, a tampered fingerprint, and a node count the checkpoint
+// cannot describe all wrap ErrInvalidConfig.
+func TestResumeRejectsBadCheckpoints(t *testing.T) {
+	ctx := context.Background()
+	planner := NewPlanner(ClusterConfig{})
+	tr, err := planner.Train(ctx, trainerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := tr.Checkpoint(&good); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := planner.ResumeTrain(ctx, strings.NewReader("not json"), trainerConfig()); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("garbage checkpoint: %v, want ErrInvalidConfig", err)
+	}
+
+	tampered := strings.Replace(good.String(), `"plan_fingerprint": "`, `"plan_fingerprint": "00`, 1)
+	if _, err := planner.ResumeTrain(ctx, strings.NewReader(tampered), trainerConfig()); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("tampered fingerprint: %v, want ErrInvalidConfig", err)
+	}
+
+	// A config whose model cast disagrees with the checkpointed plan.
+	other := trainerConfig()
+	other.RPCs = PPORPCs("llama13b", "llama13b-critic")
+	if _, err := planner.ResumeTrain(ctx, bytes.NewReader(good.Bytes()), other); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("model mismatch: %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestWorkerTimeoutOptionValidation: a negative liveness bound is a run
+// option rejection (and therefore a config error).
+func TestWorkerTimeoutOptionValidation(t *testing.T) {
+	opts := DefaultRunOptions()
+	opts.WorkerTimeout = -time.Second
+	_, err := NewPlanner(ClusterConfig{}).Train(context.Background(), trainerConfig(), WithTrainRunOptions(opts))
+	if !errors.Is(err, ErrInvalidRunOptions) || !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Train with negative WorkerTimeout = %v, want ErrInvalidRunOptions", err)
+	}
+}

@@ -2,8 +2,10 @@ package realhf
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"realhf/internal/core"
 	"realhf/internal/estimator"
@@ -62,8 +64,11 @@ type Trainer struct {
 	calib      *estimator.Calibration
 	drifted    bool // profile feedback demands a replan before the next iteration
 
+	workerTimeout time.Duration
+
 	iter              int
 	replans, switches int
+	workerFailures    int
 	switchCostV       float64
 	totalV            float64
 	pendingSwitchCost float64
@@ -74,13 +79,14 @@ type Trainer struct {
 type TrainOption func(*trainOptions)
 
 type trainOptions struct {
-	progress   func(IterationReport)
-	genLen     func(iter int) int
-	threshold  float64
-	frozen     bool
-	runOpts    *RunOptions
-	planOpts   []AutoOption
-	hasRunOpts bool
+	progress    func(IterationReport)
+	genLen      func(iter int) int
+	threshold   float64
+	frozen      bool
+	runOpts     *RunOptions
+	planOpts    []AutoOption
+	hasRunOpts  bool
+	poolFactory WorkerPoolFactory
 }
 
 // defaultReplanThreshold is the estimate-vs-observed relative drift above
@@ -89,6 +95,30 @@ type trainOptions struct {
 // percentages there), and comfortably below the drift a real generation
 // length change produces.
 const defaultReplanThreshold = 0.15
+
+// defaultWorkerTimeout is the liveness bound Trainer sessions run under
+// when RunOptions.WorkerTimeout is unset: generous against scheduling
+// jitter (the simulated fleet answers in microseconds), tight enough that
+// a dead worker costs a campaign seconds, not forever.
+const defaultWorkerTimeout = 2 * time.Second
+
+// WorkerPoolFactory builds the worker fleet a Trainer executes on — called
+// at session open, on every Resize, and on every shrink-replan after a
+// worker loss (pools are rebuilt, never patched, so adopted transports and
+// custom deployments work uniformly). The default wraps
+// runtime.NewWorkerPool (in-process channel workers). Custom factories are
+// how campaigns run over other transports: build the fleet, wrap its
+// transport (e.g. runtime.NewFaultyTransport for chaos tests, or a
+// TCPTransport fleet), and return runtime.NewWorkerPoolWith.
+type WorkerPoolFactory func(numGPUs int, memoryBytes int64) (*runtime.WorkerPool, error)
+
+// WithWorkerPoolFactory routes every worker-fleet (re)build through fn.
+// The Trainer owns the returned pools (it closes the old pool before
+// requesting a replacement); any caller-owned far side (a TCP worker
+// server, say) stays the caller's to tear down.
+func WithWorkerPoolFactory(fn WorkerPoolFactory) TrainOption {
+	return func(o *trainOptions) { o.poolFactory = fn }
+}
 
 // WithIterationProgress streams every iteration's report to fn as the
 // campaign runs — makespan, observed per-RPC durations, drift, charged
@@ -118,7 +148,9 @@ func WithReplanThreshold(frac float64) TrainOption {
 // WithFrozenPlan pins the iteration-0 plan for the whole campaign: no
 // profile feedback, no replanning, no switch charges — the one-shot
 // baseline the replanning Trainer is measured against (and the only mode
-// the pre-Trainer API could express). Reports still stream.
+// the pre-Trainer API could express). Reports still stream. One exception:
+// a lost worker still forces a shrink-replan (the frozen plan's mesh no
+// longer exists) — survival outranks baseline purity.
 func WithFrozenPlan() TrainOption {
 	return func(o *trainOptions) { o.frozen = true }
 }
@@ -176,6 +208,14 @@ type IterationReport struct {
 	ReallocSwitchCost float64
 	// PlanFingerprint identifies the executed plan's assignments.
 	PlanFingerprint string
+	// WorkerLost reports that one or more workers died during this
+	// iteration's attempts; LostGPUs lists them in detection order. Each
+	// loss evicted the failed device's host node and forced a
+	// shrink-replan (Replanned/Switched are set, ReallocSwitchCost charges
+	// the move), after which the iteration re-executed on the survivor
+	// mesh — so MakespanV and Nodes describe the degraded, surviving run.
+	WorkerLost bool
+	LostGPUs   []int
 	// OOM and Errors surface worker diagnostics.
 	OOM    bool
 	Errors []string
@@ -184,6 +224,12 @@ type IterationReport struct {
 // CampaignReport aggregates a multi-iteration run.
 type CampaignReport struct {
 	Iterations []IterationReport
+	// CompletedIterations counts iterations that fully executed —
+	// len(Iterations), maintained explicitly so a campaign that ends early
+	// (context cancellation or a runtime error) still hands back a
+	// consistent partial report: the accounting below always describes
+	// exactly the completed prefix, whatever ended the campaign.
+	CompletedIterations int
 	// TotalMakespanV is the campaign's virtual wall time: the sum of
 	// iteration makespans plus every charged plan-switch reallocation cost.
 	TotalMakespanV float64
@@ -191,6 +237,9 @@ type CampaignReport struct {
 	SwitchCostV float64
 	// Replans counts replan attempts; Switches counts adopted plan changes.
 	Replans, Switches int
+	// WorkerFailures counts workers lost (and survived via shrink-replan)
+	// across the campaign.
+	WorkerFailures int
 }
 
 // TrainerStats snapshots a session.
@@ -202,6 +251,8 @@ type TrainerStats struct {
 	Replans, Switches int
 	// SwitchCostV and TotalMakespanV mirror the campaign accounting.
 	SwitchCostV, TotalMakespanV float64
+	// WorkerFailures counts workers lost (and survived) so far.
+	WorkerFailures int
 	// Nodes is the current cluster scale.
 	Nodes int
 	// PlanFingerprint identifies the current plan.
@@ -255,20 +306,35 @@ func (p *Planner) Train(ctx context.Context, cfg ExperimentConfig, opts ...Train
 		}
 		cfg.GenLen = g0
 	}
+	if o.poolFactory == nil {
+		o.poolFactory = func(numGPUs int, memoryBytes int64) (*runtime.WorkerPool, error) {
+			return runtime.NewWorkerPool(numGPUs, memoryBytes), nil
+		}
+	}
+	wt := run.WorkerTimeout
+	if wt == 0 {
+		wt = defaultWorkerTimeout
+	}
 	exp, err := p.Plan(ctx, cfg, o.planOpts...)
 	if err != nil {
 		return nil, err
 	}
 	hw := run.scaleCluster(exp.Cluster)
+	pool, err := o.poolFactory(hw.NumGPUs(), hw.GPU.MemoryBytes)
+	if err != nil {
+		return nil, fmt.Errorf("realhf: worker pool for %d GPUs: %w", hw.NumGPUs(), err)
+	}
+	pool.SetFenceTimeout(wt)
 	t := &Trainer{
-		planner:    p,
-		base:       cfg,
-		opts:       o,
-		run:        run,
-		pool:       runtime.NewWorkerPool(hw.NumGPUs(), hw.GPU.MemoryBytes),
-		hw:         hw,
-		plan:       exp.Plan,
-		plannedCfg: exp.Config,
+		planner:       p,
+		base:          cfg,
+		opts:          o,
+		run:           run,
+		pool:          pool,
+		hw:            hw,
+		plan:          exp.Plan,
+		plannedCfg:    exp.Config,
+		workerTimeout: wt,
 	}
 	return t, nil
 }
@@ -321,21 +387,56 @@ func (t *Trainer) stepLocked(ctx context.Context) (*IterationReport, error) {
 		report.Replanned, report.Switched, report.PlanCached = true, switched, cached
 	}
 
-	execPlan, est, err := t.instantiateLocked(workCfg)
-	if err != nil {
-		return nil, err
-	}
-	static := estimator.StaticPerGPU(execPlan)
-	if err := t.pool.Reset(static); err != nil {
-		return nil, err
-	}
-	rep, err := t.pool.Run(execPlan, runtime.Options{
-		UseCUDAGraph: t.run.UseCUDAGraph,
-		OverlapComm:  t.run.OverlapComm,
-		Context:      ctx,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("realhf: iteration %d failed: %w", iter, err)
+	// Execute, surviving worker loss: a *runtime.ErrWorkerLost from Reset or
+	// Run (fence timeout, dead transport stream, or no reply within the
+	// worker timeout) evicts the failed device's node, shrink-replans onto
+	// the survivors and re-executes the whole iteration there. The failed
+	// attempt's partial progress is discarded — virtual makespans stay
+	// deterministic functions of the executed plan. Anything that is not a
+	// worker loss aborts the step as before.
+	var (
+		execPlan *core.Plan
+		est      *estimator.Result
+		rep      *runtime.Report
+	)
+	for {
+		// The replan loop is bounded by the shrinking mesh (shrinkLocked
+		// fails out at one node), but each attempt re-checks the caller's
+		// context so a cancellation never waits on another full attempt.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("realhf: training step cancelled: %w", err)
+		}
+		var err error
+		execPlan, est, err = t.instantiateLocked(workCfg)
+		if err != nil {
+			return nil, err
+		}
+		static := estimator.StaticPerGPU(execPlan)
+		if err := t.pool.Reset(static); err != nil {
+			if lost := (*runtime.ErrWorkerLost)(nil); errors.As(err, &lost) {
+				if serr := t.shrinkLocked(ctx, &workCfg, &report, lost); serr != nil {
+					return nil, serr
+				}
+				continue
+			}
+			return nil, err
+		}
+		rep, err = t.pool.Run(execPlan, runtime.Options{
+			UseCUDAGraph:  t.run.UseCUDAGraph,
+			OverlapComm:   t.run.OverlapComm,
+			Context:       ctx,
+			WorkerTimeout: t.workerTimeout,
+		})
+		if err != nil {
+			if lost := (*runtime.ErrWorkerLost)(nil); errors.As(err, &lost) {
+				if serr := t.shrinkLocked(ctx, &workCfg, &report, lost); serr != nil {
+					return nil, serr
+				}
+				continue
+			}
+			return nil, fmt.Errorf("realhf: iteration %d failed: %w", iter, err)
+		}
+		break
 	}
 
 	report.MakespanV = rep.MakespanV
@@ -437,6 +538,65 @@ func (t *Trainer) replanLocked(ctx context.Context, workCfg ExperimentConfig) (s
 	return adopt, exp.Cached, nil
 }
 
+// shrinkLocked recovers from a lost worker: it evicts the failed device's
+// host node from the campaign, re-solves the plan onto the surviving mesh
+// through the Planner's caches (calibrated, warm-started from the incumbent
+// when it still validates there), charges the §5-priced reallocation of
+// moving every model onto the survivors, and swaps the worker fleet to the
+// shrunken size. The inverse of Resize, forced rather than elective — it
+// runs even in WithFrozenPlan sessions, because the frozen plan's mesh no
+// longer exists; survival outranks baseline purity. When no surviving node
+// remains (or the shrink replan itself fails) it returns an error wrapping
+// ErrWorkerLost, ending the campaign.
+func (t *Trainer) shrinkLocked(ctx context.Context, workCfg *ExperimentConfig, report *IterationReport, lost *runtime.ErrWorkerLost) error {
+	report.WorkerLost = true
+	report.LostGPUs = append(report.LostGPUs, lost.GPU)
+	t.workerFailures++
+	if t.base.Nodes <= 1 {
+		return fmt.Errorf("realhf: iteration %d: worker gpu %d lost and no surviving nodes remain: %w: %w",
+			report.Iter, lost.GPU, ErrWorkerLost, lost)
+	}
+	newCfg := t.base
+	newCfg.Nodes--
+	newCfg.GenLen = workCfg.GenLen
+	opts := append(append([]AutoOption{}, t.opts.planOpts...), withCalibration(t.calib))
+	if stalePlan, _, staleErr := t.evaluateLocked(newCfg, t.plan); staleErr == nil {
+		opts = append(opts, WithWarmStart(stalePlan))
+	}
+	exp, err := t.planner.Plan(ctx, newCfg, opts...)
+	if err != nil {
+		return fmt.Errorf("realhf: iteration %d: shrink to %d nodes after losing worker gpu %d: %w: %w",
+			report.Iter, newCfg.Nodes, lost.GPU, ErrWorkerLost, err)
+	}
+	newHW := t.run.scaleCluster(exp.Cluster)
+	// Price the reallocation on the old, larger cluster: its device range
+	// spans both the dying mesh and the survivors, exactly as Resize prices
+	// a grow on the larger of the two.
+	t.pendingSwitchCost += realloc.SwitchCost(t.plan, exp.Plan, t.hw)
+	if err := t.pool.Close(); err != nil {
+		return fmt.Errorf("realhf: iteration %d: closing failed worker fleet: %w: %w",
+			report.Iter, ErrWorkerLost, err)
+	}
+	pool, err := t.opts.poolFactory(newHW.NumGPUs(), newHW.GPU.MemoryBytes)
+	if err != nil {
+		return fmt.Errorf("realhf: iteration %d: worker pool for %d surviving GPUs: %w: %w",
+			report.Iter, newHW.NumGPUs(), ErrWorkerLost, err)
+	}
+	pool.SetFenceTimeout(t.workerTimeout)
+	t.pool = pool
+	t.replans++
+	t.switches++
+	t.base.Nodes = newCfg.Nodes
+	t.plannedCfg = exp.Config
+	t.plan = exp.Plan
+	t.hw = newHW
+	t.drifted = false
+	workCfg.Nodes = newCfg.Nodes
+	report.Nodes = newCfg.Nodes
+	report.Replanned, report.Switched, report.PlanCached = true, true, exp.Cached
+	return nil
+}
+
 // instantiateLocked re-attaches the current assignments to workCfg's graph
 // (the workload may have moved since the plan was searched) and estimates
 // it through the planner's calibrated problem state. The returned execution
@@ -490,6 +650,7 @@ func (t *Trainer) Campaign(ctx context.Context, n int) (*CampaignReport, error) 
 			return out, err
 		}
 		out.Iterations = append(out.Iterations, *rep)
+		out.CompletedIterations = len(out.Iterations)
 		out.TotalMakespanV += rep.MakespanV + rep.ReallocSwitchCost
 		out.SwitchCostV += rep.ReallocSwitchCost
 		if rep.Replanned {
@@ -498,6 +659,7 @@ func (t *Trainer) Campaign(ctx context.Context, n int) (*CampaignReport, error) 
 		if rep.Switched {
 			out.Switches++
 		}
+		out.WorkerFailures += len(rep.LostGPUs)
 	}
 	return out, nil
 }
@@ -543,9 +705,18 @@ func (t *Trainer) Resize(ctx context.Context, nodes int) error {
 		priceHW = newHW
 	}
 	t.pendingSwitchCost += realloc.SwitchCost(t.plan, exp.Plan, priceHW)
-	if err := t.pool.Resize(newHW.NumGPUs(), newHW.GPU.MemoryBytes); err != nil {
-		return err
+	// Rebuild, never patch: routing resizes through the pool factory keeps
+	// custom fleets (adopted transports, chaos wrappers) resizable the same
+	// way the default in-process fleet is.
+	if err := t.pool.Close(); err != nil {
+		return fmt.Errorf("realhf: resize to %d nodes: closing worker fleet: %w", nodes, err)
 	}
+	pool, err := t.opts.poolFactory(newHW.NumGPUs(), newHW.GPU.MemoryBytes)
+	if err != nil {
+		return fmt.Errorf("realhf: resize to %d nodes: worker pool: %w", nodes, err)
+	}
+	pool.SetFenceTimeout(t.workerTimeout)
+	t.pool = pool
 	t.replans++
 	t.switches++
 	t.base.Nodes = nodes
@@ -566,6 +737,7 @@ func (t *Trainer) Stats() TrainerStats {
 		Switches:           t.switches,
 		SwitchCostV:        t.switchCostV,
 		TotalMakespanV:     t.totalV,
+		WorkerFailures:     t.workerFailures,
 		Nodes:              t.base.Nodes,
 		PlanFingerprint:    t.plan.Fingerprint(),
 		CalibrationFactors: t.calib.Factors(),
